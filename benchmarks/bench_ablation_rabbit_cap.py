@@ -1,0 +1,52 @@
+"""Ablation: cache-aware Rabbit-Order community cap (Section VIII-C).
+
+"RO also can use cache size as an indicator of the maximum number of
+vertices in a community which prevents increasing size of communities
+indefinitely."  The cap is expressed as a weighted-degree budget; the
+sweep compares uncapped RO to caps derived from fractions of the
+simulated cache capacity.
+"""
+
+from repro.core import format_table
+from repro.reorder import RabbitOrder
+from repro.sim import SimulationConfig, simulate_spmv
+
+
+def test_rabbit_cap_ablation(benchmark, shared_workloads):
+    dataset = "sk-mini"
+
+    def run():
+        graph = shared_workloads.graph(dataset)
+        config = SimulationConfig.scaled_for(graph)
+        cache_vertices = config.cache.capacity_bytes / 8  # data elems in cache
+        rows = []
+        for label, cap in (
+            ("uncapped (paper RO)", None),
+            ("cap = cache capacity", cache_vertices * graph.average_degree),
+            ("cap = cache / 4", cache_vertices * graph.average_degree / 4),
+        ):
+            algorithm = RabbitOrder(max_community_weight=cap)
+            result = algorithm(graph)
+            sim = simulate_spmv(result.apply(graph), config)
+            rows.append(
+                [
+                    label,
+                    result.details["num_merges"],
+                    result.details["num_top_level"],
+                    sim.l3_misses / 1e3,
+                ]
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(
+        format_table(
+            ["variant", "merges", "top-level", "L3 (K)"],
+            rows,
+            title=f"Cache-aware Rabbit-Order community cap on {dataset}",
+            precision=1,
+        )
+    )
+    merges = [row[1] for row in rows]
+    assert merges[0] >= merges[1] >= merges[2]  # tighter cap, fewer merges

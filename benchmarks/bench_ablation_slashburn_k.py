@@ -1,0 +1,46 @@
+"""Ablation: SlashBurn's k parameter (hubs slashed per iteration).
+
+The paper fixes k = 0.02|V| and suggests (Section VIII-C) choosing k
+from the cache size instead.  The sweep shows the trade-off k controls:
+larger k means fewer, cheaper iterations but cruder hub/community
+separation.
+"""
+
+from repro.core import format_table
+from repro.reorder import SlashBurn
+from repro.sim import SimulationConfig, simulate_spmv
+
+
+def test_slashburn_k_ablation(benchmark, shared_workloads):
+    dataset = "twtr-mini"
+
+    def run():
+        graph = shared_workloads.graph(dataset)
+        config = SimulationConfig.scaled_for(graph)
+        rows = []
+        for k_ratio in (0.005, 0.02, 0.08, 0.32):
+            algorithm = SlashBurn(k_ratio)
+            result = algorithm(graph)
+            sim = simulate_spmv(result.apply(graph), config)
+            rows.append(
+                [
+                    k_ratio,
+                    result.details["num_iterations"],
+                    result.preprocessing_seconds,
+                    sim.l3_misses / 1e3,
+                ]
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(
+        format_table(
+            ["k / |V|", "iterations", "prep (s)", "L3 (K)"],
+            rows,
+            title=f"SlashBurn k sweep on {dataset} (paper uses 0.02)",
+            precision=3,
+        )
+    )
+    iterations = [row[1] for row in rows]
+    assert iterations == sorted(iterations, reverse=True)  # bigger k, fewer iters

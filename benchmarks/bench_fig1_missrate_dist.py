@@ -1,0 +1,10 @@
+"""Benchmark: Figure 1 miss-rate degree distribution.
+
+Regenerates the paper artefact via repro.bench.run_experiment("fig1")
+and asserts its shape checks hold.  Run with pytest -s to see the
+rendered rows/series.
+"""
+
+
+def test_fig1(run_report):
+    run_report("fig1")

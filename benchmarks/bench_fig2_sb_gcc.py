@@ -1,0 +1,10 @@
+"""Benchmark: Figure 2 GCC degree distribution across SB iterations.
+
+Regenerates the paper artefact via repro.bench.run_experiment("fig2")
+and asserts its shape checks hold.  Run with pytest -s to see the
+rendered rows/series.
+"""
+
+
+def test_fig2(run_report):
+    run_report("fig2")

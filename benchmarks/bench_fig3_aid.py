@@ -1,0 +1,10 @@
+"""Benchmark: Figure 3 AID degree distribution.
+
+Regenerates the paper artefact via repro.bench.run_experiment("fig3")
+and asserts its shape checks hold.  Run with pytest -s to see the
+rendered rows/series.
+"""
+
+
+def test_fig3(run_report):
+    run_report("fig3")

@@ -1,0 +1,10 @@
+"""Benchmark: Figure 4 asymmetricity degree distribution.
+
+Regenerates the paper artefact via repro.bench.run_experiment("fig4")
+and asserts its shape checks hold.  Run with pytest -s to see the
+rendered rows/series.
+"""
+
+
+def test_fig4(run_report):
+    run_report("fig4")

@@ -1,0 +1,10 @@
+"""Benchmark: Figure 5 degree range decomposition.
+
+Regenerates the paper artefact via repro.bench.run_experiment("fig5")
+and asserts its shape checks hold.  Run with pytest -s to see the
+rendered rows/series.
+"""
+
+
+def test_fig5(run_report):
+    run_report("fig5")

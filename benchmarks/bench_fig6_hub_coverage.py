@@ -1,0 +1,10 @@
+"""Benchmark: Figure 6 hub edge coverage.
+
+Regenerates the paper artefact via repro.bench.run_experiment("fig6")
+and asserts its shape checks hold.  Run with pytest -s to see the
+rendered rows/series.
+"""
+
+
+def test_fig6(run_report):
+    run_report("fig6")

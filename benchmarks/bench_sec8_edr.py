@@ -1,0 +1,10 @@
+"""Benchmark: Section VIII-B2 EDR-restricted Rabbit-Order.
+
+Regenerates the paper artefact via repro.bench.run_experiment("sec8_edr")
+and asserts its shape checks hold.  Run with pytest -s to see the
+rendered rows/series.
+"""
+
+
+def test_sec8_edr(run_report):
+    run_report("sec8_edr")

@@ -1,0 +1,10 @@
+"""Benchmark: Table I dataset inventory.
+
+Regenerates the paper artefact via repro.bench.run_experiment("table1")
+and asserts its shape checks hold.  Run with pytest -s to see the
+rendered rows/series.
+"""
+
+
+def test_table1(run_report):
+    run_report("table1")

@@ -1,0 +1,10 @@
+"""Benchmark: Table II RA preprocessing overheads.
+
+Regenerates the paper artefact via repro.bench.run_experiment("table2")
+and asserts its shape checks hold.  Run with pytest -s to see the
+rendered rows/series.
+"""
+
+
+def test_table2(run_report):
+    run_report("table2")

@@ -1,0 +1,10 @@
+"""Benchmark: Table III misses to high-degree vertex data.
+
+Regenerates the paper artefact via repro.bench.run_experiment("table3")
+and asserts its shape checks hold.  Run with pytest -s to see the
+rendered rows/series.
+"""
+
+
+def test_table3(run_report):
+    run_report("table3")

@@ -1,0 +1,10 @@
+"""Benchmark: Table IV SpMV execution results.
+
+Regenerates the paper artefact via repro.bench.run_experiment("table4")
+and asserts its shape checks hold.  Run with pytest -s to see the
+rendered rows/series.
+"""
+
+
+def test_table4(run_report):
+    run_report("table4")

@@ -1,0 +1,10 @@
+"""Benchmark: Table V average effective cache size.
+
+Regenerates the paper artefact via repro.bench.run_experiment("table5")
+and asserts its shape checks hold.  Run with pytest -s to see the
+rendered rows/series.
+"""
+
+
+def test_table5(run_report):
+    run_report("table5")

@@ -1,0 +1,10 @@
+"""Benchmark: Table VI CSC vs CSR read traversals.
+
+Regenerates the paper artefact via repro.bench.run_experiment("table6")
+and asserts its shape checks hold.  Run with pytest -s to see the
+rendered rows/series.
+"""
+
+
+def test_table6(run_report):
+    run_report("table6")

@@ -1,0 +1,10 @@
+"""Benchmark: Table VII SlashBurn vs SlashBurn++.
+
+Regenerates the paper artefact via repro.bench.run_experiment("table7")
+and asserts its shape checks hold.  Run with pytest -s to see the
+rendered rows/series.
+"""
+
+
+def test_table7(run_report):
+    run_report("table7")

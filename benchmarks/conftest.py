@@ -1,0 +1,43 @@
+"""Shared fixtures for the experiment benchmarks.
+
+Every benchmark regenerates one paper table or figure through
+:func:`repro.bench.run_experiment`, printing the same rows/series the
+paper reports (run pytest with ``-s`` to see them inline).  Heavy
+artefacts (graphs, reorderings, simulations) are cached in a single
+process-wide :class:`repro.bench.Workloads`, so the suite cost is paid
+once per combination.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import run_experiment, workloads
+
+
+@pytest.fixture(scope="session")
+def shared_workloads():
+    """The process-wide workload cache."""
+    return workloads
+
+
+@pytest.fixture
+def run_report(benchmark, shared_workloads):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+
+    def _run(experiment_id: str):
+        report = benchmark.pedantic(
+            run_experiment,
+            args=(experiment_id, shared_workloads),
+            rounds=1,
+            iterations=1,
+        )
+        print()
+        print(report.render())
+        assert report.all_shapes_hold, (
+            f"{experiment_id}: paper shape checks failed: "
+            f"{[k for k, v in report.shape_checks.items() if not v]}"
+        )
+        return report
+
+    return _run

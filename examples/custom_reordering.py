@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""Build and evaluate your own reordering algorithm.
+
+Shows the extension path a downstream user takes: subclass
+:class:`repro.ReorderingAlgorithm`, emit a relabeling array, and let
+the toolkit benchmark it against the paper's RAs with the same metrics.
+
+The custom RA here is *host clustering by connectivity*: group each
+vertex with the neighbour it shares the most edges with (a one-level
+Rabbit-Order).  It will not beat the real RAs — the point is the
+workflow.
+
+Run:  python examples/custom_reordering.py
+"""
+
+import numpy as np
+
+from repro import (
+    ReorderingAlgorithm,
+    SimulationConfig,
+    get_algorithm,
+    load_dataset,
+    simulate_spmv,
+)
+from repro.core import aid_per_vertex, format_table
+from repro.graph import Graph, sort_order_to_relabeling
+
+
+class HeaviestNeighbourClustering(ReorderingAlgorithm):
+    """Place every vertex right after its most-connected neighbour."""
+
+    name = "heaviest-neighbour"
+
+    def compute(self, graph: Graph, details: dict) -> np.ndarray:
+        n = graph.num_vertices
+        # Each vertex's anchor: the undirected neighbour seen most often.
+        anchor = np.arange(n, dtype=np.int64)
+        src, dst = graph.edges()
+        undirected = np.concatenate([src, dst]), np.concatenate([dst, src])
+        order_by = np.lexsort((undirected[1], undirected[0]))
+        u_sorted = undirected[0][order_by]
+        v_sorted = undirected[1][order_by]
+        # First neighbour in sorted order is a deterministic stand-in
+        # for "heaviest" on simple graphs; multi-edges sort adjacently
+        # so the most frequent neighbour of u is a run — pick the
+        # longest run per vertex.
+        for v in range(n):
+            lo = np.searchsorted(u_sorted, v)
+            hi = np.searchsorted(u_sorted, v + 1)
+            if lo == hi:
+                continue
+            neighbours, counts = np.unique(
+                v_sorted[lo:hi], return_counts=True
+            )
+            anchor[v] = neighbours[np.argmax(counts)]
+        # Emit vertices grouped by their anchor.
+        order = np.lexsort((np.arange(n), anchor))
+        details["num_self_anchored"] = int((anchor == np.arange(n)).sum())
+        return sort_order_to_relabeling(order.astype(np.int64))
+
+
+def main() -> None:
+    graph = load_dataset("wbcc-mini")
+    config = SimulationConfig.scaled_for(graph)
+
+    contenders = [
+        get_algorithm("identity"),
+        HeaviestNeighbourClustering(),
+        get_algorithm("rabbit"),
+    ]
+    rows = []
+    for algorithm in contenders:
+        result = algorithm(graph)
+        reordered = result.apply(graph)
+        sim = simulate_spmv(reordered, config)
+        rows.append(
+            [
+                algorithm.name,
+                result.preprocessing_seconds,
+                float(np.nanmean(aid_per_vertex(reordered))),
+                sim.l3_misses / 1e3,
+                sim.random_miss_rate * 100.0,
+            ]
+        )
+    print(
+        format_table(
+            ["ordering", "prep (s)", "mean AID", "L3 miss (K)", "rand miss %"],
+            rows,
+            title=f"Custom RA vs the paper's RAs on {graph.name}",
+            precision=2,
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""PageRank under reordering: same answer, different memory behaviour.
+
+PageRank is one of the SpMV-underpinned analytics the paper motivates
+with (Section II-B).  This example:
+
+1. computes PageRank on a web-graph analogue;
+2. reorders the graph with Rabbit-Order;
+3. shows the ranking is *identical* (relabeling changes only memory
+   layout, never semantics);
+4. compares the simulated locality of the traversal before and after.
+
+Run:  python examples/pagerank_locality.py
+"""
+
+import numpy as np
+
+from repro import get_algorithm, load_dataset, pagerank, simulate_spmv
+from repro import SimulationConfig
+from repro.graph import invert_permutation
+
+
+def main() -> None:
+    graph = load_dataset("sk-mini")
+    print(f"Graph: {graph.name}, |V|={graph.num_vertices:,}, "
+          f"|E|={graph.num_edges:,}")
+
+    ranks = pagerank(graph, iterations=30)
+    top = np.argsort(-ranks)[:5]
+    print("\nTop-5 pages by PageRank (original IDs):")
+    for v in top:
+        print(f"  vertex {v}: rank {ranks[v]:.6f}, in-degree "
+              f"{graph.in_degrees()[v]}")
+
+    result = get_algorithm("rabbit")(graph)
+    reordered = result.apply(graph)
+    ranks_after = pagerank(reordered, iterations=30)
+
+    # Semantics are invariant: rank of old vertex v == rank of its new ID.
+    relabeled_ranks = ranks_after[result.relabeling]
+    assert np.allclose(ranks, relabeled_ranks, atol=1e-12), (
+        "PageRank must be invariant under relabeling"
+    )
+    old_of_new = invert_permutation(result.relabeling)
+    print("\nTop-5 after Rabbit-Order (mapped back to original IDs):")
+    for v in np.argsort(-ranks_after)[:5]:
+        print(f"  original vertex {old_of_new[v]}: rank {ranks_after[v]:.6f}")
+
+    config = SimulationConfig.scaled_for(graph)
+    before = simulate_spmv(graph, config)
+    after = simulate_spmv(reordered, config)
+    print(f"\nSimulated locality of one SpMV iteration:")
+    print(f"  initial ordering : {before.l3_misses:,} L3 misses, "
+          f"{before.random_miss_rate * 100:.1f}% random miss rate")
+    print(f"  rabbit ordering  : {after.l3_misses:,} L3 misses, "
+          f"{after.random_miss_rate * 100:.1f}% random miss rate")
+    delta = (1 - after.l3_misses / before.l3_misses) * 100
+    print(f"  -> {delta:+.1f}% miss reduction at identical results")
+
+
+if __name__ == "__main__":
+    main()

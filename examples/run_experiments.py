@@ -1,0 +1,47 @@
+#!/usr/bin/env python3
+"""Regenerate any of the paper's tables and figures from the command line.
+
+Usage:
+    python examples/run_experiments.py                # list experiments
+    python examples/run_experiments.py fig4 table5    # run a selection
+    python examples/run_experiments.py all            # run everything
+"""
+
+import sys
+import time
+
+from repro.bench import experiment_ids, run_experiment, workloads
+
+
+def main(argv: list[str]) -> int:
+    available = experiment_ids()
+    if not argv:
+        print("Available experiments (pass ids, or 'all'):")
+        for experiment_id in available:
+            print(f"  {experiment_id}")
+        return 0
+
+    selected = available if argv == ["all"] else argv
+    unknown = [e for e in selected if e not in available]
+    if unknown:
+        print(f"Unknown experiment(s): {unknown}; available: {available}")
+        return 2
+
+    failures = 0
+    for experiment_id in selected:
+        start = time.perf_counter()
+        report = run_experiment(experiment_id, workloads)
+        elapsed = time.perf_counter() - start
+        print(report.render())
+        print(f"[{experiment_id} finished in {elapsed:.1f}s]\n")
+        if not report.all_shapes_hold:
+            failures += 1
+    if failures:
+        print(f"{failures} experiment(s) had shape mismatches")
+        return 1
+    print("All shape checks hold.")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

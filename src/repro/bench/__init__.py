@@ -1,0 +1,29 @@
+"""Experiment harness regenerating every table and figure of the paper."""
+
+from repro.bench.harness import (
+    EXPERIMENTS,
+    ExperimentReport,
+    experiment_ids,
+    run_experiment,
+)
+from repro.bench.workloads import (
+    SIM_DATASETS,
+    SOCIAL_DATASETS,
+    STUDIED_ALGORITHMS,
+    WEB_DATASETS,
+    Workloads,
+    workloads,
+)
+
+__all__ = [
+    "EXPERIMENTS",
+    "ExperimentReport",
+    "experiment_ids",
+    "run_experiment",
+    "SIM_DATASETS",
+    "SOCIAL_DATASETS",
+    "STUDIED_ALGORITHMS",
+    "WEB_DATASETS",
+    "Workloads",
+    "workloads",
+]

@@ -1,0 +1,4 @@
+"""One experiment module per paper table and figure (see DESIGN.md §4).
+
+Every module exposes ``run(workloads) -> ExperimentReport``.
+"""

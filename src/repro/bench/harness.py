@@ -1,0 +1,91 @@
+"""Experiment harness: run any paper table/figure and render its report.
+
+Each experiment module under :mod:`repro.bench.experiments` exposes a
+``run(workloads) -> ExperimentReport``; this module provides the report
+type, a registry, and :func:`run_experiment` used by the benchmark
+drivers, the examples and the CLI-style ``python -m``-ish entry points.
+"""
+
+from __future__ import annotations
+
+import importlib
+from dataclasses import dataclass, field
+
+from repro.errors import ExperimentError
+from repro.bench.workloads import Workloads, workloads as default_workloads
+
+__all__ = ["ExperimentReport", "EXPERIMENTS", "run_experiment", "experiment_ids"]
+
+
+@dataclass
+class ExperimentReport:
+    """Rendered experiment output plus its structured data.
+
+    ``data`` is experiment-specific (rows, series, matrices) so tests
+    and downstream tooling can assert on values instead of re-parsing
+    the rendered text.  ``shape_checks`` maps each paper claim the
+    experiment verifies to a boolean outcome.
+    """
+
+    experiment_id: str
+    title: str
+    text: str
+    data: dict = field(default_factory=dict)
+    shape_checks: dict[str, bool] = field(default_factory=dict)
+
+    @property
+    def all_shapes_hold(self) -> bool:
+        return all(self.shape_checks.values())
+
+    def render(self) -> str:
+        lines = [f"== {self.experiment_id}: {self.title} ==", self.text]
+        if self.shape_checks:
+            lines.append("")
+            lines.append("Shape checks (paper claim -> holds?):")
+            for claim, holds in self.shape_checks.items():
+                lines.append(f"  [{'ok' if holds else 'MISMATCH'}] {claim}")
+        return "\n".join(lines)
+
+
+#: Experiment id -> module path (one per paper table and figure).
+EXPERIMENTS: dict[str, str] = {
+    "table1": "repro.bench.experiments.table1_datasets",
+    "table2": "repro.bench.experiments.table2_preprocessing",
+    "table3": "repro.bench.experiments.table3_hub_misses",
+    "table4": "repro.bench.experiments.table4_spmv",
+    "table5": "repro.bench.experiments.table5_ecs",
+    "table6": "repro.bench.experiments.table6_push_pull",
+    "table7": "repro.bench.experiments.table7_slashburn_pp",
+    "fig1": "repro.bench.experiments.fig1_missrate",
+    "fig2": "repro.bench.experiments.fig2_sb_gcc",
+    "fig3": "repro.bench.experiments.fig3_aid",
+    "fig4": "repro.bench.experiments.fig4_asymmetricity",
+    "fig5": "repro.bench.experiments.fig5_degree_range",
+    "fig6": "repro.bench.experiments.fig6_hub_coverage",
+    "sec8_edr": "repro.bench.experiments.sec8_edr",
+}
+
+
+def experiment_ids() -> list[str]:
+    """All runnable experiment IDs."""
+    return list(EXPERIMENTS)
+
+
+def run_experiment(
+    experiment_id: str, workloads: Workloads | None = None
+) -> ExperimentReport:
+    """Run one experiment and return its report."""
+    if experiment_id not in EXPERIMENTS:
+        raise ExperimentError(
+            f"unknown experiment {experiment_id!r}; available: {experiment_ids()}"
+        )
+    module = importlib.import_module(EXPERIMENTS[experiment_id])
+    if workloads is None:
+        workloads = default_workloads
+    report = module.run(workloads)
+    if not isinstance(report, ExperimentReport):
+        raise ExperimentError(
+            f"experiment {experiment_id!r} returned {type(report).__name__}, "
+            "expected ExperimentReport"
+        )
+    return report

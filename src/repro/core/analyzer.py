@@ -1,0 +1,142 @@
+"""High-level facade over the paper's locality toolkit.
+
+:class:`LocalityAnalyzer` bundles the per-graph metrics (AID,
+asymmetricity, degree range decomposition, hub coverage, gap profile)
+and the simulation-backed metrics (miss-rate distribution, ECS, hub
+misses, locality types) behind one object, caching the simulation so a
+battery of metrics reuses a single traversal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.graph.graph import Graph
+from repro.sim.simulator import SimulationConfig, SimulationResult, simulate_spmv
+
+from repro.core.aid import AIDDistribution, aid_degree_distribution, aid_per_vertex
+from repro.core.asymmetricity import (
+    AsymmetricityDistribution,
+    asymmetricity_degree_distribution,
+    reciprocity,
+)
+from repro.core.degree_range import (
+    DegreeRangeDecomposition,
+    degree_range_decomposition,
+)
+from repro.core.ecs import ECSMeasurement, ecs_from_result
+from repro.core.gap import GapProfile, average_gap_profile
+from repro.core.hub_coverage import HubCoverage, hub_coverage
+from repro.core.hubs_misses import HubMissCount, hub_data_misses
+from repro.core.locality_types import LocalityTypeCounts, classify_locality_types
+from repro.core.missdist import MissRateDistribution, miss_rate_degree_distribution
+
+__all__ = ["GraphSummary", "LocalityAnalyzer"]
+
+
+@dataclass(frozen=True)
+class GraphSummary:
+    """One-screen structural summary of a graph."""
+
+    name: str
+    num_vertices: int
+    num_edges: int
+    average_degree: float
+    max_in_degree: int
+    max_out_degree: int
+    reciprocity: float
+    mean_in_aid: float
+    favoured_direction: str
+
+
+class LocalityAnalyzer:
+    """Analyze one graph with the paper's metrics.
+
+    Parameters
+    ----------
+    graph:
+        The graph to analyze (already relabeled, if studying an RA).
+    config:
+        Optional simulation configuration; when omitted a scaled one is
+        derived from the graph the first time a simulation-backed metric
+        is requested.  Scans are always enabled so ECS is available.
+    """
+
+    def __init__(self, graph: Graph, config: SimulationConfig | None = None):
+        self.graph = graph
+        self._config = config
+        self._result: SimulationResult | None = None
+
+    # -- structural metrics (no simulation needed) -------------------------
+
+    def aid_distribution(self, direction: str = "in") -> AIDDistribution:
+        return aid_degree_distribution(self.graph, direction=direction)
+
+    def asymmetricity_distribution(self) -> AsymmetricityDistribution:
+        return asymmetricity_degree_distribution(self.graph)
+
+    def degree_range(self) -> DegreeRangeDecomposition:
+        return degree_range_decomposition(self.graph)
+
+    def hub_coverage(self) -> HubCoverage:
+        return hub_coverage(self.graph)
+
+    def gap_profile(self) -> GapProfile:
+        return average_gap_profile(self.graph)
+
+    def summary(self) -> GraphSummary:
+        aid = aid_per_vertex(self.graph)
+        coverage = self.hub_coverage()
+        budget = max(1, self.graph.num_vertices // 100)
+        return GraphSummary(
+            name=self.graph.name,
+            num_vertices=self.graph.num_vertices,
+            num_edges=self.graph.num_edges,
+            average_degree=self.graph.average_degree,
+            max_in_degree=int(self.graph.in_degrees().max(initial=0)),
+            max_out_degree=int(self.graph.out_degrees().max(initial=0)),
+            reciprocity=reciprocity(self.graph),
+            mean_in_aid=float(np.nanmean(aid)) if aid.size else float("nan"),
+            favoured_direction=coverage.crossover_favours(budget),
+        )
+
+    # -- simulation-backed metrics -------------------------------------------
+
+    @property
+    def simulation(self) -> SimulationResult:
+        """The cached traversal simulation (run on first use)."""
+        if self._result is None:
+            config = self._config
+            if config is None:
+                config = SimulationConfig.scaled_for(self.graph)
+            if config.scan_interval == 0:
+                approx_len = self.graph.num_edges + self.graph.num_vertices // 4
+                config = SimulationConfig(
+                    cache=config.cache,
+                    tlb=config.tlb,
+                    num_threads=config.num_threads,
+                    interleave_interval=config.interleave_interval,
+                    scan_interval=max(1, approx_len // 64),
+                    direction=config.direction,
+                    promote_sequential=config.promote_sequential,
+                    timing=config.timing,
+                )
+            self._result = simulate_spmv(self.graph, config)
+        return self._result
+
+    def miss_rate_distribution(self, by: str = "proc") -> MissRateDistribution:
+        return miss_rate_degree_distribution(self.simulation, by=by)
+
+    def effective_cache_size(self) -> ECSMeasurement:
+        return ecs_from_result(self.simulation)
+
+    def hub_misses(self, min_degree: int) -> HubMissCount:
+        return hub_data_misses(self.simulation, min_degree)
+
+    def locality_types(self) -> LocalityTypeCounts:
+        result = self.simulation
+        return classify_locality_types(
+            result.trace, result.thread_ids, random_region=result.random_region
+        )

@@ -1,0 +1,97 @@
+"""Asymmetricity and its degree distribution (Section VII-A, Figure 4).
+
+The asymmetricity of a vertex is the fraction of its in-neighbours that
+are not also out-neighbours:
+
+    Asym(v) = |{(u,v) in E : (v,u) not in E}| / |{(u,v) in E}|
+
+Social networks have almost-symmetric in-hubs (in-hubs are out-hubs);
+web graphs do not — the structural contrast that explains which RA
+helps which graph family.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.graph.graph import Graph
+from repro.graph.validate import edges_as_keys
+
+from repro.core.binning import DegreeBins, log_bins
+
+__all__ = [
+    "asymmetricity_per_vertex",
+    "AsymmetricityDistribution",
+    "asymmetricity_degree_distribution",
+    "reciprocity",
+]
+
+
+def asymmetricity_per_vertex(graph: Graph) -> np.ndarray:
+    """Asymmetricity of every vertex (NaN where in-degree is 0)."""
+    n = graph.num_vertices
+    in_deg = graph.in_degrees()
+    if graph.num_edges == 0:
+        return np.full(n, np.nan)
+
+    # In-edges of v are pairs (u, v); the reverse (v, u) exists iff its
+    # scalar key appears in the sorted forward key set.
+    src, dst = graph.edges()
+    forward_keys = edges_as_keys(n, src, dst)  # sorted
+    reverse_keys = dst * np.int64(n) + src
+    pos = np.searchsorted(forward_keys, reverse_keys)
+    pos = np.minimum(pos, forward_keys.shape[0] - 1)
+    reciprocated = forward_keys[pos] == reverse_keys
+
+    symmetric_in = np.bincount(
+        dst, weights=reciprocated.astype(np.float64), minlength=n
+    )
+    with np.errstate(invalid="ignore", divide="ignore"):
+        return np.where(
+            in_deg > 0, 1.0 - symmetric_in / np.maximum(in_deg, 1), np.nan
+        )
+
+
+def reciprocity(graph: Graph) -> float:
+    """Fraction of all edges whose reverse edge exists."""
+    if graph.num_edges == 0:
+        return 0.0
+    asym = asymmetricity_per_vertex(graph)
+    in_deg = graph.in_degrees().astype(np.float64)
+    valid = ~np.isnan(asym)
+    symmetric_edges = ((1.0 - asym[valid]) * in_deg[valid]).sum()
+    return float(symmetric_edges / graph.num_edges)
+
+
+@dataclass(frozen=True)
+class AsymmetricityDistribution:
+    """Mean asymmetricity (%) per in-degree bin — one Figure 4 curve."""
+
+    bins: DegreeBins
+    mean_percent: np.ndarray
+    vertex_counts: np.ndarray
+
+    def series(self) -> tuple[np.ndarray, np.ndarray]:
+        mask = self.vertex_counts > 0
+        return self.bins.centers()[mask], self.mean_percent[mask]
+
+
+def asymmetricity_degree_distribution(
+    graph: Graph, *, bins: DegreeBins | None = None
+) -> AsymmetricityDistribution:
+    """Degree distribution of asymmetricity, binned by in-degree."""
+    asym = asymmetricity_per_vertex(graph)
+    in_deg = graph.in_degrees()
+    if bins is None:
+        bins = log_bins(max(1, int(in_deg.max()) if in_deg.size else 1))
+    idx = bins.index_of(in_deg)
+    valid = (idx >= 0) & ~np.isnan(asym)
+    counts = np.bincount(idx[valid], minlength=bins.num_bins).astype(np.int64)
+    sums = np.bincount(idx[valid], weights=asym[valid], minlength=bins.num_bins)
+    with np.errstate(invalid="ignore", divide="ignore"):
+        mean = np.where(counts > 0, sums / np.maximum(counts, 1) * 100.0, np.nan)
+    return AsymmetricityDistribution(
+        bins=bins, mean_percent=mean, vertex_counts=counts
+    )

@@ -1,0 +1,81 @@
+"""Logarithmic degree binning shared by all degree distributions.
+
+The paper's Figures 1, 3 and 4 plot metrics against degree on a log
+axis with 1-2-5 tick structure.  :func:`log_bins` reproduces that
+binning; every per-degree distribution in :mod:`repro.core` aggregates
+into these bins so curves from different metrics line up.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ReproError
+
+__all__ = ["DegreeBins", "log_bins"]
+
+_MANTISSAS = (1, 2, 5)
+
+
+@dataclass(frozen=True)
+class DegreeBins:
+    """Half-open degree bins ``[lower[i], lower[i+1])``.
+
+    ``lower`` has one extra element acting as the exclusive upper edge of
+    the last bin.
+    """
+
+    lower: np.ndarray
+
+    @property
+    def num_bins(self) -> int:
+        return self.lower.shape[0] - 1
+
+    def centers(self) -> np.ndarray:
+        """Geometric bin centers, for plotting on a log axis."""
+        lo = self.lower[:-1].astype(np.float64)
+        hi = self.lower[1:].astype(np.float64)
+        return np.sqrt(lo * hi)
+
+    def labels(self) -> list[str]:
+        """Human-readable bin labels like ``'5-10'``."""
+        return [
+            f"{int(self.lower[i])}-{int(self.lower[i + 1])}"
+            for i in range(self.num_bins)
+        ]
+
+    def index_of(self, degrees: np.ndarray) -> np.ndarray:
+        """Bin index per degree; ``-1`` for degrees below the first edge."""
+        degrees = np.asarray(degrees, dtype=np.int64)
+        idx = np.searchsorted(self.lower, degrees, side="right") - 1
+        idx[idx >= self.num_bins] = self.num_bins - 1
+        return idx
+
+
+def log_bins(max_degree: int, *, min_degree: int = 1) -> DegreeBins:
+    """1-2-5 logarithmic bins covering ``[min_degree, max_degree]``."""
+    if max_degree < min_degree:
+        raise ReproError(
+            f"max_degree {max_degree} below min_degree {min_degree}"
+        )
+    if min_degree < 1:
+        raise ReproError(f"min_degree must be >= 1, got {min_degree}")
+    edges: list[int] = []
+    power = 1
+    while True:
+        for mantissa in _MANTISSAS:
+            edge = mantissa * power
+            if edge > max_degree:
+                edges.append(edge)
+                break
+            if edge >= min_degree:
+                edges.append(edge)
+        else:
+            power *= 10
+            continue
+        break
+    if not edges or edges[0] > min_degree:
+        edges.insert(0, min_degree)
+    return DegreeBins(lower=np.asarray(edges, dtype=np.int64))

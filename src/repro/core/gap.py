@@ -1,0 +1,48 @@
+"""Average gap profile — the related-work metric AID is compared to.
+
+Section V-A contrasts N2N AID with the "average gap profile" of Barik
+et al. [23], which averages ``|id(u) - id(v)|`` over the endpoints of
+every edge.  The key difference: neighbours need to be close *to each
+other* for spatial locality, not close to the vertex that links them —
+AID captures that; the gap profile does not.  Both are provided so the
+comparison can be made empirically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.graph.graph import Graph
+
+__all__ = ["GapProfile", "average_gap_profile"]
+
+
+@dataclass(frozen=True)
+class GapProfile:
+    """Summary of edge-endpoint ID gaps."""
+
+    mean_gap: float
+    median_gap: float
+    p90_gap: float
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "mean": self.mean_gap,
+            "median": self.median_gap,
+            "p90": self.p90_gap,
+        }
+
+
+def average_gap_profile(graph: Graph) -> GapProfile:
+    """Mean/median/90th-percentile of ``|u - v|`` over all edges."""
+    src, dst = graph.edges()
+    if src.size == 0:
+        return GapProfile(0.0, 0.0, 0.0)
+    gaps = np.abs(src - dst).astype(np.float64)
+    return GapProfile(
+        mean_gap=float(gaps.mean()),
+        median_gap=float(np.median(gaps)),
+        p90_gap=float(np.percentile(gaps, 90)),
+    )

@@ -1,0 +1,91 @@
+"""Push vs pull locality: edge coverage of hubs (Section VII-B, Figure 6).
+
+For a budget of ``H`` hub vertices kept in cache, what percentage of all
+edges is "covered" — i.e. processed against cached data?  In a pull/CSC
+traversal the cached vertices are *out-hubs* (their data is read by
+many vertices); in a push/CSR traversal they are *in-hubs*.  Web graphs
+have far more powerful in-hubs (push locality); social networks have
+more powerful out-hubs (pull locality).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ReproError
+from repro.graph.graph import Graph
+
+__all__ = ["HubCoverage", "hub_coverage", "coverage_at"]
+
+
+@dataclass(frozen=True)
+class HubCoverage:
+    """Coverage curves for both hub kinds of one graph.
+
+    ``hub_counts[i]`` hubs cover ``in_percent[i]`` of edges when the
+    hubs are chosen by in-degree, ``out_percent[i]`` when by out-degree.
+    """
+
+    hub_counts: np.ndarray
+    in_percent: np.ndarray
+    out_percent: np.ndarray
+
+    def crossover_favours(self, hub_budget: int) -> str:
+        """Which traversal direction the graph favours at this budget.
+
+        Returns ``"push"`` when in-hubs cover more edges (CSR/push
+        benefits) or ``"pull"`` otherwise.
+        """
+        in_cov = coverage_at(self.hub_counts, self.in_percent, hub_budget)
+        out_cov = coverage_at(self.hub_counts, self.out_percent, hub_budget)
+        return "push" if in_cov > out_cov else "pull"
+
+
+def _cumulative_percent(degrees: np.ndarray, total_edges: int, counts: np.ndarray) -> np.ndarray:
+    ordered = np.sort(degrees)[::-1].astype(np.float64)
+    cumulative = np.concatenate([[0.0], np.cumsum(ordered)])
+    clamped = np.minimum(counts, degrees.shape[0])
+    if total_edges == 0:
+        return np.zeros(counts.shape[0])
+    return cumulative[clamped] / total_edges * 100.0
+
+
+def hub_coverage(graph: Graph, *, num_points: int = 0) -> HubCoverage:
+    """Compute both Figure 6 curves.
+
+    ``num_points`` caps the number of logarithmically spaced hub counts;
+    0 means one point per power of ten plus intermediate 2x/5x steps up
+    to ``n``.
+    """
+    n = graph.num_vertices
+    if n == 0:
+        raise ReproError("empty graph has no hubs")
+    counts: list[int] = []
+    value = 1
+    while value <= n:
+        for mantissa in (1, 2, 5):
+            candidate = mantissa * value
+            if candidate <= n:
+                counts.append(candidate)
+        value *= 10
+    if counts[-1] != n:
+        counts.append(n)
+    hub_counts = np.asarray(sorted(set(counts)), dtype=np.int64)
+    if num_points and hub_counts.shape[0] > num_points:
+        pick = np.linspace(0, hub_counts.shape[0] - 1, num_points).astype(np.int64)
+        hub_counts = hub_counts[pick]
+
+    return HubCoverage(
+        hub_counts=hub_counts,
+        in_percent=_cumulative_percent(graph.in_degrees(), graph.num_edges, hub_counts),
+        out_percent=_cumulative_percent(graph.out_degrees(), graph.num_edges, hub_counts),
+    )
+
+
+def coverage_at(hub_counts: np.ndarray, percent: np.ndarray, budget: int) -> float:
+    """Interpolated coverage percentage at an arbitrary hub budget."""
+    if budget <= 0:
+        return 0.0
+    return float(np.interp(budget, hub_counts, percent))

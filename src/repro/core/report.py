@@ -1,0 +1,96 @@
+"""Plain-text rendering of experiment tables and figure series.
+
+The benchmark harness prints the same rows and series the paper's tables
+and figures report; this module holds the shared formatting so every
+experiment renders consistently.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+__all__ = ["format_table", "format_series", "format_value", "format_matrix"]
+
+
+def format_value(value, *, precision: int = 2) -> str:
+    """Human-friendly scalar formatting (SI suffixes for big numbers)."""
+    if value is None:
+        return "-"
+    if isinstance(value, str):
+        return value
+    if isinstance(value, (bool, np.bool_)):
+        return "yes" if value else "no"
+    number = float(value)
+    if np.isnan(number):
+        return "-"
+    if float(number).is_integer() and abs(number) < 10_000:
+        return str(int(number))
+    magnitude = abs(number)
+    for threshold, suffix in ((1e9, "B"), (1e6, "M"), (1e3, "K")):
+        if magnitude >= threshold:
+            return f"{number / threshold:.{precision}f}{suffix}"
+    return f"{number:.{precision}f}"
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence],
+    *,
+    title: str = "",
+    precision: int = 2,
+) -> str:
+    """Render an aligned fixed-width table."""
+    rendered_rows = [
+        [format_value(cell, precision=precision) for cell in row] for row in rows
+    ]
+    widths = [len(h) for h in headers]
+    for row in rendered_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    header = "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers))
+    lines.append(header)
+    lines.append("-" * len(header))
+    for row in rendered_rows:
+        lines.append("  ".join(cell.rjust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def format_series(
+    x: np.ndarray,
+    series: dict[str, np.ndarray],
+    *,
+    x_label: str = "x",
+    title: str = "",
+    precision: int = 2,
+) -> str:
+    """Render one or more y-series against a shared x axis."""
+    headers = [x_label] + list(series)
+    rows = []
+    for i, xv in enumerate(np.asarray(x).tolist()):
+        row = [xv]
+        for values in series.values():
+            values = np.asarray(values)
+            row.append(values[i] if i < values.shape[0] else None)
+        rows.append(row)
+    return format_table(headers, rows, title=title, precision=precision)
+
+
+def format_matrix(
+    matrix: np.ndarray,
+    row_labels: Sequence[str],
+    col_labels: Sequence[str],
+    *,
+    title: str = "",
+    precision: int = 0,
+) -> str:
+    """Render a labelled 2-D matrix (used by the Figure 5 decomposition)."""
+    headers = [""] + list(col_labels)
+    rows = []
+    for i, label in enumerate(row_labels):
+        rows.append([label] + list(np.asarray(matrix)[i]))
+    return format_table(headers, rows, title=title, precision=precision)

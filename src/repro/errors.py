@@ -1,0 +1,30 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All errors raised deliberately by this library derive from
+:class:`ReproError` so callers can catch library failures with a single
+``except`` clause while letting programming errors propagate.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class GraphFormatError(ReproError):
+    """A graph, edge list, or adjacency structure is malformed."""
+
+
+class PermutationError(ReproError):
+    """A relabeling array is not a valid permutation of vertex IDs."""
+
+
+class SimulationError(ReproError):
+    """A cache/TLB/traversal simulation was configured inconsistently."""
+
+
+class ReorderingError(ReproError):
+    """A reordering algorithm received invalid input or parameters."""
+
+
+class ExperimentError(ReproError):
+    """An experiment harness was asked to run an unknown or bad config."""

@@ -1,0 +1,149 @@
+"""Social-network dataset family.
+
+Stands in for Twitter-MPI and Friendster (Table I, type SN).  The
+structural properties the paper's analysis depends on — and which this
+generator plants by construction — are:
+
+* heavy-tailed in- *and* out-degree distributions with the *same* hubs
+  (in-hubs are out-hubs), produced by a skewed R-MAT kernel whose source
+  and target skew coincide plus explicit edge symmetrization, so the
+  asymmetricity of high-in-degree vertices is low (Figure 4);
+* a tightly interconnected HDV core: HDV form a large share of the
+  neighbourhood of other HDV (Figure 5, left);
+* friend-circle *communities* among the low-degree users, blended into
+  the R-MAT backbone — the structure Rabbit-Order's merging phase
+  detects (Figure 3) and late SlashBurn iterations destroy (Table VII);
+* an arbitrary (uninformative) initial vertex order: real social graphs
+  are numbered by crawl/account ID, which carries no locality, so the
+  generated IDs are scrambled by a seeded random permutation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import GraphFormatError
+from repro.graph.build import build_graph
+from repro.graph.graph import Graph
+from repro.graph.permute import random_permutation
+
+from repro.generate.rmat import rmat_edges
+
+__all__ = ["social_network"]
+
+
+def social_network(
+    scale: int = 14,
+    average_degree: float = 16.0,
+    *,
+    reciprocity: float = 0.65,
+    rmat_b: float = 0.24,
+    rmat_c: float = 0.14,
+    community_fraction: float = 0.30,
+    mean_community_size: int = 40,
+    id_dispersion: float = 0.01,
+    name: str = "social",
+    seed: int = 0,
+) -> Graph:
+    """Generate a social-network-like graph.
+
+    Parameters
+    ----------
+    scale:
+        ``2**scale`` vertices before zero-degree removal.
+    average_degree:
+        Target ``|E| / |V|`` before deduplication.
+    reciprocity:
+        Fraction of sampled edges that also get their reverse edge —
+        drives the symmetric-hub structure of Figure 4.  Twitter-scale
+        social graphs show high reciprocity among high-degree accounts.
+    rmat_b, rmat_c:
+        R-MAT quadrant probabilities.  ``rmat_b > rmat_c`` makes the
+        out-degree tail heavier than the in-degree tail, giving the
+        graph the *more powerful out-hubs* (pull locality) the paper
+        observes for social networks in Figure 6.
+    community_fraction:
+        Fraction of edges drawn inside friend-circle communities rather
+        than from the R-MAT backbone.
+    mean_community_size:
+        Mean community size (sizes are Pareto distributed).
+    id_dispersion:
+        How arbitrary the initial vertex order is, as a fraction of
+        ``|V|``.  Account IDs follow sign-up time, and friends tend to
+        join within the same era, so the order is noisy but weakly
+        correlated with the communities: each vertex's initial position
+        is its community position plus uniform noise of this width.
+        ``1.0`` degenerates to a full scramble.
+    seed:
+        Seeds edge sampling and the scrambling permutation.
+    """
+    if not 0.0 <= community_fraction < 1.0:
+        raise GraphFormatError(
+            f"community_fraction must be in [0, 1), got {community_fraction}"
+        )
+    num_vertices = 1 << scale
+    total_edges = int(num_vertices * average_degree / (1.0 + reciprocity))
+    backbone_edges = int(total_edges * (1.0 - community_fraction))
+    community_edges = total_edges - backbone_edges
+    sources, targets = rmat_edges(
+        scale, backbone_edges, b=rmat_b, c=rmat_c, seed=seed
+    )
+
+    if community_edges:
+        c_src, c_dst = _community_edges(
+            num_vertices, community_edges, mean_community_size, seed + 3
+        )
+        sources = np.concatenate([sources, c_src])
+        targets = np.concatenate([targets, c_dst])
+
+    # Symmetrize a fraction of the edges: (u, v) also gains (v, u).
+    rng = np.random.default_rng(seed + 1)
+    mutual = rng.random(sources.shape[0]) < reciprocity
+    all_src = np.concatenate([sources, targets[mutual]])
+    all_dst = np.concatenate([targets, sources[mutual]])
+
+    # Initial vertex order: noisy sign-up order.  Pre-scramble IDs are
+    # community-contiguous, so position + wide uniform noise yields an
+    # order that is mostly arbitrary but weakly community-correlated —
+    # like account IDs of friends who joined in the same era.
+    noise_rng = np.random.default_rng(seed + 2)
+    if id_dispersion >= 1.0:
+        scramble = random_permutation(num_vertices, seed=seed + 2)
+    else:
+        keys = (
+            np.arange(num_vertices, dtype=np.float64)
+            + noise_rng.uniform(0, max(1e-9, id_dispersion) * num_vertices,
+                                size=num_vertices)
+        )
+        scramble = np.empty(num_vertices, dtype=np.int64)
+        scramble[np.argsort(keys, kind="stable")] = np.arange(
+            num_vertices, dtype=np.int64
+        )
+    all_src = scramble[all_src]
+    all_dst = scramble[all_dst]
+
+    result = build_graph(num_vertices, all_src, all_dst, name=name)
+    return result.graph
+
+
+def _community_edges(
+    num_vertices: int, num_edges: int, mean_size: int, seed: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Edges inside Pareto-sized friend circles (uniform within each)."""
+    rng = np.random.default_rng(seed)
+    sizes: list[int] = []
+    remaining = num_vertices
+    while remaining > 0:
+        size = int(min(remaining, 2 + rng.pareto(1.8) * mean_size))
+        sizes.append(size)
+        remaining -= size
+    sizes_arr = np.asarray(sizes, dtype=np.int64)
+    starts = np.zeros(sizes_arr.shape[0] + 1, dtype=np.int64)
+    np.cumsum(sizes_arr, out=starts[1:])
+    community_of = np.repeat(np.arange(sizes_arr.shape[0]), sizes_arr)
+
+    src = rng.integers(0, num_vertices, size=num_edges, dtype=np.int64)
+    comm = community_of[src]
+    local = rng.integers(0, np.iinfo(np.int64).max, size=num_edges) % sizes_arr[comm]
+    dst = starts[comm] + local
+    return src, dst

@@ -1,0 +1,157 @@
+"""Web-graph dataset family.
+
+Stands in for WebBase, SK-Domain, UK-Union, Web-CC12 and ClueWeb09
+(Table I, type WG).  The generator builds the host-page hierarchy that
+real crawls exhibit and that drives the paper's web-graph findings:
+
+* vertices are grouped into *hosts* with power-law host sizes; pages of
+  a host occupy consecutive IDs (the crawl's lexicographic URL order),
+  so the *initial* ordering already has good locality — exactly why the
+  paper's web graphs respond differently to RAs than social networks;
+* most links are intra-host between nearby pages: LDV neighbourhoods are
+  made of other LDV (Figure 5, right);
+* cross-host links point at *host front pages* chosen with a power-law
+  popularity, creating in-hubs with huge in-degree but small out-degree;
+  the linking pages rarely receive a reverse link, so in-hubs are highly
+  asymmetric (Figure 4) and in-hub edge coverage dwarfs out-hub coverage
+  (Figure 6, push locality).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import GraphFormatError
+from repro.graph.build import build_graph
+from repro.graph.graph import Graph
+
+__all__ = ["web_graph", "host_sizes"]
+
+
+def host_sizes(
+    num_vertices: int, mean_host_size: int, *, alpha: float = 1.6, seed: int = 0
+) -> np.ndarray:
+    """Power-law host sizes summing exactly to ``num_vertices``."""
+    if num_vertices <= 0:
+        raise GraphFormatError("need at least one vertex")
+    if mean_host_size <= 0:
+        raise GraphFormatError("mean host size must be positive")
+    rng = np.random.default_rng(seed)
+    sizes: list[int] = []
+    remaining = num_vertices
+    while remaining > 0:
+        # Pareto-distributed sizes, clamped to what is left.
+        size = int(min(remaining, 1 + rng.pareto(alpha) * mean_host_size))
+        sizes.append(size)
+        remaining -= size
+    return np.asarray(sizes, dtype=np.int64)
+
+
+def web_graph(
+    num_vertices: int = 16384,
+    average_degree: float = 16.0,
+    *,
+    mean_host_size: int = 48,
+    intra_fraction: float = 0.75,
+    intra_window: int = 24,
+    popularity_alpha: float = 0.8,
+    disorder: float = 0.10,
+    name: str = "web",
+    seed: int = 0,
+) -> Graph:
+    """Generate a web-graph-like graph.
+
+    Parameters
+    ----------
+    num_vertices:
+        Page count before zero-degree removal.
+    average_degree:
+        Target ``|E| / |V|`` before deduplication.
+    mean_host_size:
+        Mean pages per host; host sizes follow a Pareto distribution.
+    intra_fraction:
+        Fraction of links that stay inside the source page's host.
+    intra_window:
+        Intra-host links target pages within this ID distance — the
+        navigational-menu locality of real sites.
+    popularity_alpha:
+        Zipf exponent of cross-host front-page popularity
+        (``p(rank) ~ rank**-popularity_alpha``); larger values
+        concentrate more in-links on fewer front pages.
+    disorder:
+        Fraction of pages whose IDs are shuffled among themselves —
+        the imperfection of a real crawl order (late-discovered pages,
+        re-crawls).  Leaves room for a community-clustering RA to
+        improve on the initial order, as Rabbit-Order does on the
+        paper's web graphs.
+    """
+    if not 0.0 <= intra_fraction <= 1.0:
+        raise GraphFormatError(f"intra_fraction must be in [0, 1], got {intra_fraction}")
+    if not 0.0 <= disorder <= 1.0:
+        raise GraphFormatError(f"disorder must be in [0, 1], got {disorder}")
+    rng = np.random.default_rng(seed)
+    sizes = host_sizes(num_vertices, mean_host_size, seed=seed)
+    num_hosts = sizes.shape[0]
+    host_start = np.zeros(num_hosts + 1, dtype=np.int64)
+    np.cumsum(sizes, out=host_start[1:])
+    # host_of[p] = host index of page p; page IDs are consecutive per host.
+    host_of = np.repeat(np.arange(num_hosts, dtype=np.int64), sizes)
+
+    num_edges = int(num_vertices * average_degree)
+    num_intra = int(num_edges * intra_fraction)
+    num_cross = num_edges - num_intra
+
+    # Per-page link budgets are heavy-tailed but bounded: most pages
+    # carry a handful of links, a few index pages carry hundreds.  This
+    # keeps LDV the dominant *sources* of edges (Figure 5, web side)
+    # while in-degree alone forms the hubs.
+    page_weight = 1.0 + rng.pareto(2.0, size=num_vertices)
+    page_prob = page_weight / page_weight.sum()
+
+    # Intra-host links: target within +-intra_window inside the same
+    # host (reflected at host boundaries).
+    intra_src = rng.choice(num_vertices, size=num_intra, p=page_prob).astype(np.int64)
+    delta = rng.integers(1, intra_window + 1, size=num_intra, dtype=np.int64)
+    sign = rng.integers(0, 2, size=num_intra, dtype=np.int64) * 2 - 1
+    raw = intra_src + sign * delta
+    lo = host_start[host_of[intra_src]]
+    hi = host_start[host_of[intra_src] + 1] - 1
+    intra_dst = np.clip(raw, lo, hi)
+    # Clipping can create self-loops; nudge them to a neighbour when the
+    # host has more than one page.
+    loops = intra_dst == intra_src
+    multi = hi > lo
+    fix = loops & multi
+    intra_dst[fix] = np.where(intra_src[fix] < hi[fix], intra_src[fix] + 1, intra_src[fix] - 1)
+
+    # Cross-host links: target a host drawn from a heavy-tailed
+    # popularity distribution, landing on its front page or (with
+    # geometrically decaying probability) one of its first section pages.
+    cross_src = rng.choice(num_vertices, size=num_cross, p=page_prob).astype(np.int64)
+    popularity = 1.0 / np.power(
+        np.arange(1, num_hosts + 1, dtype=np.float64), popularity_alpha
+    )
+    popularity /= popularity.sum()
+    # Hash host ranks so popular hosts are spread over the ID space.
+    rank_to_host = rng.permutation(num_hosts)
+    picked_rank = rng.choice(num_hosts, size=num_cross, p=popularity)
+    picked_host = rank_to_host[picked_rank]
+    section = rng.geometric(0.5, size=num_cross).astype(np.int64) - 1
+    section = np.minimum(section, sizes[picked_host] - 1)
+    cross_dst = host_start[picked_host] + section
+
+    sources = np.concatenate([intra_src, cross_src])
+    targets = np.concatenate([intra_dst, cross_dst])
+
+    if disorder > 0.0:
+        # Shuffle a fraction of page IDs among themselves: the crawl
+        # order is good but not perfect.
+        relabel = np.arange(num_vertices, dtype=np.int64)
+        moved = rng.random(num_vertices) < disorder
+        moved_ids = np.flatnonzero(moved)
+        relabel[moved_ids] = moved_ids[rng.permutation(moved_ids.shape[0])]
+        sources = relabel[sources]
+        targets = relabel[targets]
+
+    result = build_graph(num_vertices, sources, targets, name=name)
+    return result.graph

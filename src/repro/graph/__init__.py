@@ -1,0 +1,71 @@
+"""Graph substrate: adjacency structures, cleaning, components, I/O."""
+
+from repro.graph.build import BuildResult, build_graph, compact_vertices, dedup_edges
+from repro.graph.components import (
+    ComponentResult,
+    connected_components,
+    giant_component,
+)
+from repro.graph.csr import Adjacency
+from repro.graph.degrees import (
+    DegreeSummary,
+    degree_class_edges,
+    degree_class_labels,
+    degree_histogram,
+    degree_summary,
+    normalized_degree_frequency,
+    power_law_tail_exponent,
+)
+from repro.graph.graph import Graph
+from repro.graph.io import (
+    load_edge_list,
+    load_graph_npz,
+    save_edge_list,
+    save_graph_npz,
+)
+from repro.graph.permute import (
+    apply_to_edges,
+    apply_to_vertex_data,
+    check_permutation,
+    compose_permutations,
+    identity_permutation,
+    invert_permutation,
+    is_permutation,
+    random_permutation,
+    sort_order_to_relabeling,
+)
+from repro.graph.validate import edges_as_keys, validate_graph
+
+__all__ = [
+    "Adjacency",
+    "Graph",
+    "BuildResult",
+    "build_graph",
+    "compact_vertices",
+    "dedup_edges",
+    "ComponentResult",
+    "connected_components",
+    "giant_component",
+    "DegreeSummary",
+    "degree_class_edges",
+    "degree_class_labels",
+    "degree_histogram",
+    "degree_summary",
+    "normalized_degree_frequency",
+    "power_law_tail_exponent",
+    "load_edge_list",
+    "load_graph_npz",
+    "save_edge_list",
+    "save_graph_npz",
+    "apply_to_edges",
+    "apply_to_vertex_data",
+    "check_permutation",
+    "compose_permutations",
+    "identity_permutation",
+    "invert_permutation",
+    "is_permutation",
+    "random_permutation",
+    "sort_order_to_relabeling",
+    "edges_as_keys",
+    "validate_graph",
+]

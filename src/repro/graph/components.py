@@ -1,0 +1,137 @@
+"""Connected components over the undirected view of a graph.
+
+SlashBurn (Section IV-A of the paper) repeatedly removes hubs and finds
+the connected components of the remainder, recursing on the giant
+connected component (GCC).  This module provides a vectorized label
+propagation CC that is fast on the low-diameter power-law graphs and on
+the hub-stripped residues SlashBurn produces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import GraphFormatError
+
+__all__ = ["ComponentResult", "connected_components", "giant_component"]
+
+
+@dataclass(frozen=True)
+class ComponentResult:
+    """Labels plus summary statistics of a components run.
+
+    ``labels[v]`` is the component ID of vertex ``v`` (component IDs are
+    contiguous, ordered by first appearance).  ``sizes[c]`` counts the
+    vertices in component ``c`` and ``edge_counts[c]`` the edges whose
+    endpoints both lie in ``c``.
+    """
+
+    labels: np.ndarray
+    sizes: np.ndarray
+    edge_counts: np.ndarray
+
+    @property
+    def num_components(self) -> int:
+        return self.sizes.shape[0]
+
+    def giant_component_id(self, by: str = "edges") -> int:
+        """Component with most edges (paper's GCC definition) or vertices."""
+        if self.num_components == 0:
+            raise GraphFormatError("graph has no components")
+        if by == "edges":
+            # Break edge-count ties by vertex count for determinism.
+            key = self.edge_counts * (self.sizes.max() + 1) + self.sizes
+        elif by == "vertices":
+            key = self.sizes
+        else:
+            raise GraphFormatError(f"unknown GCC criterion: {by!r}")
+        return int(np.argmax(key))
+
+
+def connected_components(
+    num_vertices: int,
+    sources: np.ndarray,
+    targets: np.ndarray,
+    *,
+    active: np.ndarray | None = None,
+) -> ComponentResult:
+    """Undirected connected components via pointer-jumping label propagation.
+
+    Parameters
+    ----------
+    num_vertices, sources, targets:
+        Graph as parallel edge arrays; direction is ignored.
+    active:
+        Optional boolean mask; inactive vertices are excluded (edges with
+        an inactive endpoint are ignored, each inactive vertex receives
+        label ``-1``).  This is how SlashBurn removes hubs without
+        rebuilding the edge list every iteration.
+    """
+    sources = np.asarray(sources, dtype=np.int64)
+    targets = np.asarray(targets, dtype=np.int64)
+    if active is not None:
+        active = np.asarray(active, dtype=bool)
+        if active.shape[0] != num_vertices:
+            raise GraphFormatError("active mask length must equal num_vertices")
+        keep = active[sources] & active[targets]
+        sources, targets = sources[keep], targets[keep]
+
+    labels = np.arange(num_vertices, dtype=np.int64)
+    while True:
+        # Hook: every edge pulls both endpoints to the smaller label.
+        edge_min = np.minimum(labels[sources], labels[targets])
+        before = labels.copy()
+        np.minimum.at(labels, sources, edge_min)
+        np.minimum.at(labels, targets, edge_min)
+        # Compress: jump each label to its label's label until stable.
+        while True:
+            jumped = labels[labels]
+            if np.array_equal(jumped, labels):
+                break
+            labels = jumped
+        if np.array_equal(labels, before):
+            break
+
+    if active is not None:
+        labels[~active] = -1
+        member_mask = active
+    else:
+        member_mask = np.ones(num_vertices, dtype=bool)
+
+    # Renumber component roots to contiguous IDs ordered by first member.
+    members = np.flatnonzero(member_mask)
+    if members.size == 0:
+        return ComponentResult(
+            labels=labels,
+            sizes=np.zeros(0, dtype=np.int64),
+            edge_counts=np.zeros(0, dtype=np.int64),
+        )
+    roots, contiguous = np.unique(labels[members], return_inverse=True)
+    final = labels.copy()
+    final[members] = contiguous
+    sizes = np.bincount(contiguous, minlength=roots.shape[0]).astype(np.int64)
+    if sources.size:
+        edge_counts = np.bincount(
+            final[sources], minlength=roots.shape[0]
+        ).astype(np.int64)
+    else:
+        edge_counts = np.zeros(roots.shape[0], dtype=np.int64)
+    return ComponentResult(labels=final, sizes=sizes, edge_counts=edge_counts)
+
+
+def giant_component(
+    num_vertices: int,
+    sources: np.ndarray,
+    targets: np.ndarray,
+    *,
+    active: np.ndarray | None = None,
+    by: str = "edges",
+) -> tuple[np.ndarray, ComponentResult]:
+    """Boolean membership mask of the GCC plus the full component result."""
+    result = connected_components(num_vertices, sources, targets, active=active)
+    if result.num_components == 0:
+        return np.zeros(num_vertices, dtype=bool), result
+    gcc = result.giant_component_id(by=by)
+    return result.labels == gcc, result

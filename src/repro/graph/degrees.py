@@ -1,0 +1,128 @@
+"""Degree statistics and vertex classification helpers.
+
+Centralizes the degree-based vocabulary of the paper: LDV/HDV split at
+the average degree, hubs at ``sqrt(n)``, degree histograms used for
+Figure 2, and the decade-based degree classes ("1-10", "10-100", ...)
+used by the degree range decomposition (Figure 5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import GraphFormatError
+from repro.graph.graph import Graph
+
+__all__ = [
+    "DegreeSummary",
+    "degree_summary",
+    "degree_histogram",
+    "normalized_degree_frequency",
+    "degree_class_edges",
+    "degree_class_labels",
+    "power_law_tail_exponent",
+]
+
+
+@dataclass(frozen=True)
+class DegreeSummary:
+    """Aggregate degree statistics of one direction of a graph."""
+
+    num_vertices: int
+    num_edges: int
+    average: float
+    maximum: int
+    hub_threshold: float
+    num_hubs: int
+    num_hdv: int
+    num_ldv: int
+
+
+def degree_summary(graph: Graph, direction: str = "in") -> DegreeSummary:
+    """Summarize the degree distribution of ``graph`` in one direction."""
+    degrees = graph._degrees(direction)
+    average = graph.average_degree
+    hub_threshold = graph.hub_threshold
+    return DegreeSummary(
+        num_vertices=graph.num_vertices,
+        num_edges=graph.num_edges,
+        average=average,
+        maximum=int(degrees.max()) if degrees.size else 0,
+        hub_threshold=hub_threshold,
+        num_hubs=int((degrees > hub_threshold).sum()),
+        num_hdv=int((degrees > average).sum()),
+        num_ldv=int((degrees <= average).sum()),
+    )
+
+
+def degree_histogram(degrees: np.ndarray, max_degree: int | None = None) -> np.ndarray:
+    """Frequency of every integer degree, ``hist[d] = #vertices of degree d``."""
+    degrees = np.asarray(degrees, dtype=np.int64)
+    if degrees.size and degrees.min() < 0:
+        raise GraphFormatError("degrees must be non-negative")
+    length = (int(degrees.max()) if degrees.size else 0) + 1
+    if max_degree is not None:
+        length = max(length, max_degree + 1)
+    return np.bincount(degrees, minlength=length).astype(np.int64)
+
+
+def normalized_degree_frequency(degrees: np.ndarray) -> np.ndarray:
+    """Frequency normalized to the peak, as plotted in Figure 2.
+
+    ``result[d] = frequency(d) / max_frequency``; zero where no vertex has
+    degree ``d``.
+    """
+    hist = degree_histogram(degrees)
+    peak = hist.max()
+    if peak == 0:
+        return hist.astype(np.float64)
+    return hist / peak
+
+
+def degree_class_labels(num_classes: int) -> list[str]:
+    """Decade labels '1-10', '10-100', ... used by Figure 5."""
+    labels = []
+    for k in range(num_classes):
+        low = 10**k
+        high = 10 ** (k + 1)
+        labels.append(f"{_compact(low)}-{_compact(high)}")
+    return labels
+
+
+def _compact(value: int) -> str:
+    if value >= 1_000_000 and value % 1_000_000 == 0:
+        return f"{value // 1_000_000}M"
+    if value >= 1_000 and value % 1_000 == 0:
+        return f"{value // 1_000}K"
+    return str(value)
+
+
+def degree_class_edges(degrees: np.ndarray) -> np.ndarray:
+    """Decade class index for each degree: class k covers [10^k, 10^(k+1)).
+
+    Degree 0 maps to class 0 alongside the 1-10 decade (the paper drops
+    zero-degree vertices before analysis, so the case is degenerate).
+    """
+    degrees = np.asarray(degrees, dtype=np.int64)
+    classes = np.zeros(degrees.shape, dtype=np.int64)
+    positive = degrees > 0
+    classes[positive] = np.floor(np.log10(degrees[positive])).astype(np.int64)
+    return classes
+
+
+def power_law_tail_exponent(degrees: np.ndarray, d_min: int = 10) -> float:
+    """Maximum-likelihood (discrete approximation) power-law exponent.
+
+    Uses the standard Clauset-Shalizi-Newman continuous approximation
+    ``alpha = 1 + n / sum(ln(d / (d_min - 0.5)))`` over degrees >= d_min.
+    Used by the Figure 2 analysis to show the GCC of SlashBurn losing its
+    power-law character.  Returns ``nan`` when fewer than two vertices
+    exceed ``d_min``.
+    """
+    degrees = np.asarray(degrees, dtype=np.float64)
+    tail = degrees[degrees >= d_min]
+    if tail.size < 2:
+        return float("nan")
+    return float(1.0 + tail.size / np.log(tail / (d_min - 0.5)).sum())

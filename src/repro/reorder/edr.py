@@ -1,0 +1,124 @@
+"""Efficacy Degree Range (EDR) restriction (Section VIII-B2).
+
+The degree distribution of cache miss rate (Figure 1) identifies, for
+each RA, the degree range where it actually improves locality.  The
+paper proposes skipping the relabeling of vertices outside that range:
+"during relabeling we pass only edges of those vertices to the RA that
+their degree is within the EDR.  For other vertices, we let the labels
+be determined in the same manner as zero degree vertices" — cutting
+preprocessing time without affecting traversal time.
+
+:class:`EDRRestricted` wraps any :class:`ReorderingAlgorithm` this way;
+:func:`efficacy_degree_range` derives the range from a pair of measured
+miss-rate distributions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ReorderingError
+from repro.graph.build import build_graph
+from repro.graph.graph import Graph
+from repro.graph.permute import invert_permutation, sort_order_to_relabeling
+
+from repro.core.missdist import MissRateDistribution
+from repro.reorder.base import ReorderingAlgorithm
+
+__all__ = ["EDRRestricted", "efficacy_degree_range"]
+
+
+class EDRRestricted(ReorderingAlgorithm):
+    """Run ``base`` only on vertices whose degree falls in the EDR.
+
+    Vertices outside the range keep their relative order and are
+    appended after the reordered ones, exactly like the zero-degree
+    vertices the cleaning pass strips.
+    """
+
+    def __init__(
+        self,
+        base: ReorderingAlgorithm,
+        min_degree: int = 0,
+        max_degree: int | None = None,
+        *,
+        direction: str = "total",
+    ):
+        if max_degree is not None and max_degree < min_degree:
+            raise ReorderingError(
+                f"empty EDR: [{min_degree}, {max_degree}]"
+            )
+        if direction not in ("in", "out", "total"):
+            raise ReorderingError(f"unknown degree direction: {direction!r}")
+        self.base = base
+        self.min_degree = min_degree
+        self.max_degree = max_degree
+        self.direction = direction
+        self.name = f"{base.name}+edr"
+
+    def compute(self, graph: Graph, details: dict) -> np.ndarray:
+        degrees = graph._degrees(self.direction)
+        mask = degrees >= self.min_degree
+        if self.max_degree is not None:
+            mask &= degrees <= self.max_degree
+        members = np.flatnonzero(mask)
+        others = np.flatnonzero(~mask)
+        details["num_in_range"] = int(members.shape[0])
+        details["num_skipped"] = int(others.shape[0])
+        if members.size == 0:
+            return np.arange(graph.num_vertices, dtype=np.int64)
+
+        # Pass only the edges between in-range vertices to the base RA.
+        src, dst = graph.edges()
+        keep = mask[src] & mask[dst]
+        local_id = np.full(graph.num_vertices, -1, dtype=np.int64)
+        local_id[members] = np.arange(members.shape[0], dtype=np.int64)
+        built = build_graph(
+            members.shape[0],
+            local_id[src[keep]],
+            local_id[dst[keep]],
+            drop_zero_degree=True,
+            dedup=False,
+        )
+        if built.graph.num_vertices == 0:
+            return np.arange(graph.num_vertices, dtype=np.int64)
+        sub_result = self.base(built.graph)
+        details["base_details"] = sub_result.details
+
+        connected_local = np.flatnonzero(built.old_to_new >= 0)
+        sub_order = invert_permutation(sub_result.relabeling)
+        ordered = members[connected_local[sub_order]]
+        isolated_in_range = members[built.old_to_new < 0]
+        order = np.concatenate([ordered, isolated_in_range, others])
+        return sort_order_to_relabeling(order)
+
+
+def efficacy_degree_range(
+    initial: MissRateDistribution,
+    reordered: MissRateDistribution,
+    *,
+    min_improvement_percent: float = 0.0,
+) -> tuple[int, int]:
+    """Degree range where ``reordered`` beats ``initial`` (Figure 1 based).
+
+    Returns the (inclusive) degree bounds spanning the first through
+    last bin whose miss rate improves by more than
+    ``min_improvement_percent`` percentage points.
+
+    Raises
+    ------
+    ReorderingError
+        If the two distributions use different bins, or no bin improves.
+    """
+    if not np.array_equal(initial.bins.lower, reordered.bins.lower):
+        raise ReorderingError("distributions must share the same degree bins")
+    populated = (initial.accesses > 0) & (reordered.accesses > 0)
+    improvement = initial.miss_rate_percent - reordered.miss_rate_percent
+    improved = populated & (improvement > min_improvement_percent)
+    if not improved.any():
+        raise ReorderingError("the reordering improves no degree bin")
+    first = int(np.flatnonzero(improved)[0])
+    last = int(np.flatnonzero(improved)[-1])
+    lower = int(initial.bins.lower[first])
+    upper = int(initial.bins.lower[last + 1]) - 1
+    return lower, upper

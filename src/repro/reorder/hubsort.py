@@ -1,0 +1,68 @@
+"""Lightweight skew-aware orderings: HubSort and HubCluster.
+
+These are the "lightweight reordering" techniques of Faldu et al.
+(IISWC'19) and Balaji & Lucia (IISWC'18), both cited by the paper as
+prior evaluations of RAs ([21], [22]).  They exploit only the degree
+skew:
+
+* **HubSort** moves hub vertices to the lowest IDs sorted by degree and
+  *preserves the relative order* of all non-hub vertices — keeping
+  whatever locality the original ordering already had;
+* **HubCluster** merely packs hubs together (front), without sorting,
+  again preserving relative order everywhere else.
+
+Both are useful baselines between the destructive full degree sort and
+the expensive structural RAs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ReorderingError
+from repro.graph.graph import Graph
+from repro.graph.permute import sort_order_to_relabeling
+
+from repro.reorder.base import ReorderingAlgorithm
+
+__all__ = ["HubSort", "HubCluster"]
+
+
+class _HubAware(ReorderingAlgorithm):
+    def __init__(self, *, direction: str = "out", hub_threshold: float | None = None):
+        if direction not in ("in", "out", "total"):
+            raise ReorderingError(f"unknown degree direction: {direction!r}")
+        self.direction = direction
+        self.hub_threshold = hub_threshold
+
+    def _split(self, graph: Graph) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        degrees = graph._degrees(self.direction)
+        threshold = self.hub_threshold
+        if threshold is None:
+            threshold = graph.average_degree
+        hubs = np.flatnonzero(degrees > threshold)
+        others = np.flatnonzero(degrees <= threshold)
+        return degrees, hubs, others
+
+
+class HubSort(_HubAware):
+    """Hubs first in decreasing degree; non-hubs keep relative order."""
+
+    name = "hubsort"
+
+    def compute(self, graph: Graph, details: dict) -> np.ndarray:
+        degrees, hubs, others = self._split(graph)
+        hubs = hubs[np.lexsort((hubs, -degrees[hubs]))]
+        details["num_hubs"] = int(hubs.shape[0])
+        return sort_order_to_relabeling(np.concatenate([hubs, others]))
+
+
+class HubCluster(_HubAware):
+    """Hubs packed first (original relative order); non-hubs follow."""
+
+    name = "hubcluster"
+
+    def compute(self, graph: Graph, details: dict) -> np.ndarray:
+        _, hubs, others = self._split(graph)
+        details["num_hubs"] = int(hubs.shape[0])
+        return sort_order_to_relabeling(np.concatenate([hubs, others]))

@@ -1,0 +1,90 @@
+"""Hybrid Rabbit-Order + GOrder (the future-work RA of Section VIII-C).
+
+The paper observes that GOrder improves the locality of high-degree
+vertices while Rabbit-Order improves low-degree vertices, and suggests
+"a new RA [that] may start from LDV like RO to build initial clusters
+and then switch to a method like GO to relabel HDV".
+
+This implementation realizes that sketch:
+
+1. HDV (degree above the graph average) are ordered among themselves by
+   GOrder restricted to the HDV-induced subgraph and receive the lowest
+   IDs — temporal reuse of the tightly connected hub core;
+2. LDV are ordered by Rabbit-Order's community DFS applied to the
+   LDV-induced subgraph and follow — spatial clustering of the
+   communities.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.build import build_graph
+from repro.graph.graph import Graph
+from repro.graph.permute import sort_order_to_relabeling, invert_permutation
+
+from repro.reorder.base import ReorderingAlgorithm
+from repro.reorder.gorder import GOrder
+from repro.reorder.rabbit import RabbitOrder
+
+__all__ = ["HybridOrder"]
+
+
+class HybridOrder(ReorderingAlgorithm):
+    """GOrder over the HDV core, Rabbit-Order over the LDV remainder."""
+
+    name = "hybrid"
+
+    def __init__(self, *, window: int = 5, seed: int = 0):
+        self.window = window
+        self.seed = seed
+
+    def compute(self, graph: Graph, details: dict) -> np.ndarray:
+        degrees = graph.total_degrees()
+        threshold = 2.0 * graph.average_degree  # in+out vs |E|/|V|
+        hdv_mask = degrees > threshold
+
+        hdv_order = _suborder(
+            graph, hdv_mask, GOrder(window=self.window), details, "hdv"
+        )
+        ldv_order = _suborder(
+            graph, ~hdv_mask, RabbitOrder(seed=self.seed), details, "ldv"
+        )
+        order = np.concatenate([hdv_order, ldv_order])
+        details["num_hdv"] = int(hdv_mask.sum())
+        return sort_order_to_relabeling(order)
+
+
+def _suborder(
+    graph: Graph,
+    mask: np.ndarray,
+    algorithm: ReorderingAlgorithm,
+    details: dict,
+    label: str,
+) -> np.ndarray:
+    """Order the vertices in ``mask`` using ``algorithm`` on their induced
+    subgraph; vertices isolated inside the subgraph keep relative order."""
+    members = np.flatnonzero(mask)
+    if members.size == 0:
+        return members.astype(np.int64)
+    src, dst = graph.edges()
+    keep = mask[src] & mask[dst]
+    local_id = np.full(graph.num_vertices, -1, dtype=np.int64)
+    local_id[members] = np.arange(members.shape[0], dtype=np.int64)
+    sub_src = local_id[src[keep]]
+    sub_dst = local_id[dst[keep]]
+    if sub_src.size == 0:
+        details[f"{label}_isolated"] = int(members.size)
+        return members.astype(np.int64)
+
+    built = build_graph(
+        members.shape[0], sub_src, sub_dst, drop_zero_degree=True, dedup=False
+    )
+    result = algorithm(built.graph)
+    # Local new-id -> local old-id -> global old-id.
+    connected_local = np.flatnonzero(built.old_to_new >= 0)
+    sub_order = invert_permutation(result.relabeling)
+    ordered_connected = members[connected_local[sub_order]]
+    isolated = members[built.old_to_new < 0]
+    details[f"{label}_isolated"] = int(isolated.shape[0])
+    return np.concatenate([ordered_connected, isolated])

@@ -1,0 +1,72 @@
+"""Reverse Cuthill-McKee (RCM) bandwidth-reducing ordering.
+
+Cuthill-McKee [1969] is the classic matrix-bandwidth reordering the
+paper cites as the ancestor of the RA family ([3] in its bibliography).
+It performs a BFS from a low-degree peripheral vertex, visiting each
+level's vertices in increasing-degree order; *reverse* CM reverses the
+final order, which further reduces the matrix profile.
+
+RCM targets bandwidth (all neighbours close to the diagonal), which for
+the paper's metrics translates into uniformly low average gap — a
+useful contrast to AID-optimizing community RAs in ablations.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+import numpy as np
+
+from repro.graph.graph import Graph
+from repro.graph.permute import sort_order_to_relabeling
+
+from repro.reorder.base import ReorderingAlgorithm
+
+__all__ = ["ReverseCuthillMcKee"]
+
+
+class ReverseCuthillMcKee(ReorderingAlgorithm):
+    """RCM over the undirected view of the graph."""
+
+    name = "rcm"
+
+    def compute(self, graph: Graph, details: dict) -> np.ndarray:
+        n = graph.num_vertices
+        out_adj, in_adj = graph.out_adj, graph.in_adj
+        degrees = graph.total_degrees()
+        visited = np.zeros(n, dtype=bool)
+        order = np.empty(n, dtype=np.int64)
+        cursor = 0
+
+        # Seed components from their minimum-degree vertex (the classic
+        # peripheral-vertex heuristic, cheap version).
+        seeds = np.argsort(degrees, kind="stable")
+        seed_cursor = 0
+        num_components = 0
+        while cursor < n:
+            while visited[seeds[seed_cursor]]:
+                seed_cursor += 1
+            root = int(seeds[seed_cursor])
+            num_components += 1
+            visited[root] = True
+            # Heap keyed by (BFS discovery index, degree) so each level
+            # is emitted in increasing-degree order.
+            heap: list[tuple[int, int, int]] = [(0, int(degrees[root]), root)]
+            discovery = 1
+            while heap:
+                _, __, v = heapq.heappop(heap)
+                order[cursor] = v
+                cursor += 1
+                neighbours = np.unique(
+                    np.concatenate(
+                        [out_adj.neighbours(v), in_adj.neighbours(v)]
+                    )
+                )
+                for u in neighbours.tolist():
+                    if not visited[u]:
+                        visited[u] = True
+                        heapq.heappush(heap, (discovery, int(degrees[u]), u))
+                discovery += 1
+
+        details["num_components"] = num_components
+        return sort_order_to_relabeling(order[::-1].copy())

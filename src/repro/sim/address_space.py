@@ -1,0 +1,135 @@
+"""Simulated address-space layout of an SpMV traversal.
+
+The traversal of Algorithm 1 touches four arrays (Section II of the
+paper), laid out here in one flat byte address space:
+
+=============  =====================  ==========  =================
+region         contents               elem bytes  access pattern
+=============  =====================  ==========  =================
+OFFSETS        CSC/CSR offsets        8           sequential
+EDGES          CSC/CSR edges          4           sequential stream
+VERTEX_DATA    old vertex data (Di)   8           **random reads**
+VERTEX_OUT     new vertex data        8           sequential writes
+=============  =====================  ==========  =================
+
+The random reads into ``VERTEX_DATA`` are the accesses reordering
+algorithms try to make local; everything else streams.  The address
+space exposes *cache-line IDs* (byte address divided by the line size)
+because the simulator works at line granularity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import SimulationError
+
+__all__ = ["Region", "AddressSpace"]
+
+
+class Region:
+    """Region codes; values index the counters produced by region_counts."""
+
+    OFFSETS = 0
+    EDGES = 1
+    VERTEX_DATA = 2
+    VERTEX_OUT = 3
+
+    NAMES = ("offsets", "edges", "vertex_data", "vertex_out")
+    COUNT = 4
+
+
+def _align_up(value: int, alignment: int) -> int:
+    return (value + alignment - 1) // alignment * alignment
+
+
+@dataclass(frozen=True)
+class AddressSpace:
+    """Byte layout for a graph of ``num_vertices`` / ``num_edges``.
+
+    The paper's element sizes are kept: 8-byte offsets, 4-byte edge IDs,
+    8-byte vertex data (Section III-B).
+    """
+
+    num_vertices: int
+    num_edges: int
+    line_size: int = 64
+    offsets_elem: int = 8
+    edges_elem: int = 4
+    data_elem: int = 8
+
+    def __post_init__(self) -> None:
+        if self.line_size <= 0 or self.line_size & (self.line_size - 1):
+            raise SimulationError(f"line_size must be a power of two, got {self.line_size}")
+        if self.num_vertices < 0 or self.num_edges < 0:
+            raise SimulationError("negative graph dimensions")
+
+    # -- region base addresses (line aligned so regions never share a line)
+
+    @property
+    def offsets_base(self) -> int:
+        return 0
+
+    @property
+    def edges_base(self) -> int:
+        size = (self.num_vertices + 1) * self.offsets_elem
+        return _align_up(self.offsets_base + size, self.line_size)
+
+    @property
+    def data_base(self) -> int:
+        size = self.num_edges * self.edges_elem
+        return _align_up(self.edges_base + size, self.line_size)
+
+    @property
+    def out_base(self) -> int:
+        size = self.num_vertices * self.data_elem
+        return _align_up(self.data_base + size, self.line_size)
+
+    @property
+    def end(self) -> int:
+        return _align_up(self.out_base + self.num_vertices * self.data_elem, self.line_size)
+
+    # -- line helpers ------------------------------------------------------
+
+    def data_lines(self, vertices: np.ndarray) -> np.ndarray:
+        """Cache-line ID of ``Di[v]`` for each vertex (vectorized)."""
+        vertices = np.asarray(vertices, dtype=np.int64)
+        return (self.data_base + vertices * self.data_elem) // self.line_size
+
+    def out_lines(self, vertices: np.ndarray) -> np.ndarray:
+        """Cache-line ID of ``Di+1[v]`` for each vertex."""
+        vertices = np.asarray(vertices, dtype=np.int64)
+        return (self.out_base + vertices * self.data_elem) // self.line_size
+
+    def offsets_lines(self, vertices: np.ndarray) -> np.ndarray:
+        """Cache-line ID of ``offsets[v]``."""
+        vertices = np.asarray(vertices, dtype=np.int64)
+        return (self.offsets_base + vertices * self.offsets_elem) // self.line_size
+
+    def edges_lines(self, edge_indices: np.ndarray) -> np.ndarray:
+        """Cache-line ID of ``edges[i]``."""
+        edge_indices = np.asarray(edge_indices, dtype=np.int64)
+        return (self.edges_base + edge_indices * self.edges_elem) // self.line_size
+
+    def vertices_per_data_line(self) -> int:
+        """How many vertex-data elements share one cache line."""
+        return max(1, self.line_size // self.data_elem)
+
+    def region_of_lines(self, lines: np.ndarray) -> np.ndarray:
+        """Region code of each cache-line ID (vectorized)."""
+        addresses = np.asarray(lines, dtype=np.int64) * self.line_size
+        regions = np.empty(addresses.shape, dtype=np.uint8)
+        regions[:] = Region.OFFSETS
+        regions[addresses >= self.edges_base] = Region.EDGES
+        regions[addresses >= self.data_base] = Region.VERTEX_DATA
+        regions[addresses >= self.out_base] = Region.VERTEX_OUT
+        if addresses.size and (addresses.min() < 0 or addresses.max() >= self.end):
+            raise SimulationError("cache line outside the simulated address space")
+        return regions
+
+    def region_counts(self, lines: np.ndarray) -> np.ndarray:
+        """Histogram of lines per region (length ``Region.COUNT``)."""
+        regions = self.region_of_lines(lines)
+        return np.bincount(regions, minlength=Region.COUNT).astype(np.int64)

@@ -1,0 +1,87 @@
+"""Parallel traversal modelling: partitioning and trace interleaving.
+
+The paper's environment processes edge-balanced graph partitions with
+work stealing (Section III-B), and its parallel cache simulation logs
+accesses per thread and then "divides execution duration between
+threads where for each interval a thread simulates all logged accesses
+by parallel threads in a round robin way" (Section V-B).  This module
+implements both halves: contiguous edge-balanced vertex partitions, and
+round-robin interval interleaving of per-thread traces into the single
+stream the shared-cache simulator consumes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.graph.graph import Graph
+from repro.sim.trace import MemoryTrace
+
+__all__ = ["edge_balanced_partitions", "interleave_traces", "partition_edge_counts"]
+
+
+def edge_balanced_partitions(graph: Graph, num_parts: int, *, direction: str = "pull") -> np.ndarray:
+    """Contiguous vertex ranges with roughly equal edge counts.
+
+    Returns ``num_parts + 1`` boundaries; partition ``p`` is the vertex
+    range ``[boundaries[p], boundaries[p + 1])``.  Balancing follows the
+    edge-balanced partitioning of GraphGrind cited by the paper.
+    """
+    if num_parts <= 0:
+        raise SimulationError(f"num_parts must be positive, got {num_parts}")
+    adj = graph.in_adj if direction == "pull" else graph.out_adj
+    if direction not in ("pull", "push"):
+        raise SimulationError(f"direction must be 'pull' or 'push', got {direction!r}")
+    total_edges = adj.num_edges
+    targets = np.arange(1, num_parts, dtype=np.float64) * total_edges / num_parts
+    cuts = np.searchsorted(adj.offsets, targets, side="left")
+    boundaries = np.empty(num_parts + 1, dtype=np.int64)
+    boundaries[0] = 0
+    boundaries[1:-1] = np.minimum(cuts, graph.num_vertices)
+    boundaries[-1] = graph.num_vertices
+    return np.maximum.accumulate(boundaries)
+
+
+def partition_edge_counts(graph: Graph, boundaries: np.ndarray, *, direction: str = "pull") -> np.ndarray:
+    """Edges per partition for the given boundaries."""
+    adj = graph.in_adj if direction == "pull" else graph.out_adj
+    return np.diff(adj.offsets[boundaries])
+
+
+def interleave_traces(
+    traces: list[MemoryTrace], interval: int
+) -> tuple[MemoryTrace, np.ndarray]:
+    """Merge per-thread traces round-robin in blocks of ``interval``.
+
+    Thread 0 contributes its first ``interval`` accesses, then thread 1,
+    ... wrapping around until every trace is drained (threads that run
+    out simply stop contributing, like a thread that finished early).
+
+    Returns the merged trace plus a per-access thread-ID array.
+    """
+    if not traces:
+        raise SimulationError("need at least one trace to interleave")
+    if interval <= 0:
+        raise SimulationError(f"interval must be positive, got {interval}")
+    num_threads = len(traces)
+    lengths = [len(t) for t in traces]
+
+    # Sort key: (round, thread). Stable argsort keeps within-round,
+    # within-thread program order.
+    rounds = np.concatenate(
+        [np.arange(length, dtype=np.int64) // interval for length in lengths]
+    )
+    threads = np.concatenate(
+        [np.full(length, t, dtype=np.int64) for t, length in enumerate(lengths)]
+    )
+    order = np.argsort(rounds * num_threads + threads, kind="stable")
+
+    merged = MemoryTrace(
+        lines=np.concatenate([t.lines for t in traces])[order],
+        kinds=np.concatenate([t.kinds for t in traces])[order],
+        read_vertex=np.concatenate([t.read_vertex for t in traces])[order],
+        proc_vertex=np.concatenate([t.proc_vertex for t in traces])[order],
+        space=traces[0].space,
+    )
+    return merged, threads[order]

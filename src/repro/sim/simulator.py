@@ -1,0 +1,253 @@
+"""End-to-end graph-specific cache simulation (Section V-B of the paper).
+
+:func:`simulate_spmv` performs the paper's two-phase parallel
+simulation: (1) log memory accesses per thread partition, (2) interleave
+the per-thread logs round-robin per interval and replay them through a
+simulated shared L3 (and optionally a DTLB).  The returned
+:class:`SimulationResult` carries everything the paper's metrics need:
+hit bits with per-access attribution, resident-line snapshots for the
+Effective Cache Size, TLB miss counts, and a work-stealing schedule for
+idle-time estimation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.graph.graph import Graph
+
+from repro.sim.address_space import AddressSpace, Region
+from repro.sim.cache import CacheConfig, CacheSnapshot, SetAssociativeCache
+from repro.sim.parallel import edge_balanced_partitions, interleave_traces
+from repro.sim.scheduler import (
+    ScheduleResult,
+    cost_balanced_chunks,
+    simulate_work_stealing,
+)
+from repro.sim.stats import VertexAccessStats, attribute_random_accesses
+from repro.sim.timing import TimingModel
+from repro.sim.tlb import TLBConfig, simulate_tlb
+from repro.sim.trace import MemoryTrace, spmv_trace
+
+__all__ = ["SimulationConfig", "SimulationResult", "simulate_spmv"]
+
+
+@dataclass(frozen=True)
+class SimulationConfig:
+    """Everything that parameterizes one SpMV simulation."""
+
+    cache: CacheConfig
+    tlb: TLBConfig | None = None
+    num_threads: int = 8
+    interleave_interval: int = 64
+    scan_interval: int = 0
+    direction: str = "pull"
+    promote_sequential: bool = True
+    timing: TimingModel = field(default_factory=TimingModel)
+
+    def __post_init__(self) -> None:
+        if self.num_threads <= 0:
+            raise SimulationError("num_threads must be positive")
+        if self.direction not in ("pull", "push"):
+            raise SimulationError(
+                f"direction must be 'pull' or 'push', got {self.direction!r}"
+            )
+
+    @classmethod
+    def scaled_for(
+        cls,
+        graph: Graph,
+        *,
+        pressure: float = 0.08,
+        num_threads: int = 8,
+        scan_interval: int = 0,
+        direction: str = "pull",
+        with_tlb: bool = True,
+        policy: str = "drrip",
+    ) -> "SimulationConfig":
+        """Config whose cache/TLB are scaled to the graph (DESIGN.md §2)."""
+        cache = CacheConfig.scaled_for(
+            graph.num_vertices, pressure=pressure, policy=policy
+        )
+        tlb = TLBConfig.scaled_for(graph.num_vertices) if with_tlb else None
+        return cls(
+            cache=cache,
+            tlb=tlb,
+            num_threads=num_threads,
+            scan_interval=scan_interval,
+            direction=direction,
+            timing=TimingModel(num_threads=num_threads),
+        )
+
+
+@dataclass
+class SimulationResult:
+    """Hit/miss outcome of one simulated parallel SpMV traversal."""
+
+    graph: Graph
+    config: SimulationConfig
+    trace: MemoryTrace
+    hits: np.ndarray
+    thread_ids: np.ndarray
+    snapshots: list[CacheSnapshot]
+    tlb_misses: int
+    partition_boundaries: np.ndarray
+
+    # -- headline counters --------------------------------------------------
+
+    @property
+    def num_accesses(self) -> int:
+        return len(self.trace)
+
+    @property
+    def l3_misses(self) -> int:
+        return self.num_accesses - int(self.hits.sum())
+
+    @property
+    def random_region(self) -> int:
+        return (
+            Region.VERTEX_DATA if self.config.direction == "pull" else Region.VERTEX_OUT
+        )
+
+    @property
+    def random_accesses(self) -> int:
+        return int((self.trace.kinds == self.random_region).sum())
+
+    @property
+    def random_misses(self) -> int:
+        mask = self.trace.kinds == self.random_region
+        return int(mask.sum()) - int(self.hits[mask].sum())
+
+    @property
+    def random_miss_rate(self) -> float:
+        accesses = self.random_accesses
+        if accesses == 0:
+            return 0.0
+        return self.random_misses / accesses
+
+    # -- attribution ---------------------------------------------------------
+
+    def random_stats(self, by: str = "read") -> VertexAccessStats:
+        """Per-vertex random-access stats (see :mod:`repro.sim.stats`)."""
+        return attribute_random_accesses(
+            self.trace,
+            self.hits,
+            self.graph.num_vertices,
+            by=by,
+            random_region=self.random_region,
+        )
+
+    # -- effective cache size --------------------------------------------------
+
+    def effective_cache_size_samples(self) -> np.ndarray:
+        """Per-snapshot percentage of capacity holding random-access data."""
+        if not self.snapshots:
+            return np.zeros(0)
+        capacity = self.config.cache.num_lines
+        space = self.trace.space
+        samples = np.empty(len(self.snapshots))
+        for i, snap in enumerate(self.snapshots):
+            counts = space.region_counts(snap.resident_lines)
+            samples[i] = counts[self.random_region] / capacity * 100.0
+        return samples
+
+    def effective_cache_size(self) -> float:
+        """Average ECS percentage over all snapshots (Table V)."""
+        samples = self.effective_cache_size_samples()
+        if samples.size == 0:
+            raise SimulationError(
+                "no snapshots recorded; run with scan_interval > 0 to measure ECS"
+            )
+        return float(samples.mean())
+
+    # -- scheduling / timing --------------------------------------------------
+
+    def per_vertex_cost(self) -> np.ndarray:
+        """Simulated cycles each vertex's processing consumes."""
+        timing = self.config.timing
+        degrees = (
+            self.graph.in_degrees()
+            if self.config.direction == "pull"
+            else self.graph.out_degrees()
+        )
+        stats = self.random_stats(by="proc")
+        return (
+            degrees.astype(np.float64) * timing.cycles_per_edge
+            + stats.misses.astype(np.float64) * timing.cycles_per_l3_miss
+        )
+
+    def schedule(self, *, chunks_per_thread: int = 64) -> ScheduleResult:
+        """Work-stealing schedule of this traversal (idle % of Table IV).
+
+        Work units are cost-balanced chunks (~64 per thread), matching
+        the fine-grained edge-balanced partitioning of the paper's
+        runtime.
+        """
+        costs = cost_balanced_chunks(
+            self.per_vertex_cost(),
+            self.partition_boundaries,
+            chunks_per_thread=chunks_per_thread,
+        )
+        return simulate_work_stealing(costs)
+
+    def traversal_time_ms(self, *, chunks_per_thread: int = 64) -> float:
+        """Simulated traversal time (Table IV "Time" substitute)."""
+        idle = self.schedule(chunks_per_thread=chunks_per_thread).idle_percent
+        return self.config.timing.traversal_time_ms(
+            self.graph.num_edges, self.l3_misses, self.tlb_misses, idle
+        )
+
+
+def simulate_spmv(
+    graph: Graph, config: SimulationConfig | None = None, **scaled_kwargs
+) -> SimulationResult:
+    """Simulate one parallel SpMV traversal of ``graph``.
+
+    When ``config`` is omitted a scaled configuration is derived from the
+    graph via :meth:`SimulationConfig.scaled_for`, forwarding any keyword
+    arguments.
+    """
+    if config is None:
+        config = SimulationConfig.scaled_for(graph, **scaled_kwargs)
+    elif scaled_kwargs:
+        raise SimulationError("pass either a config or scaling kwargs, not both")
+
+    space = AddressSpace(
+        graph.num_vertices, graph.num_edges, line_size=config.cache.line_size
+    )
+    boundaries = edge_balanced_partitions(
+        graph, config.num_threads, direction=config.direction
+    )
+    traces = [
+        spmv_trace(
+            graph,
+            space,
+            direction=config.direction,
+            vertex_range=(int(boundaries[t]), int(boundaries[t + 1])),
+            promote_sequential=config.promote_sequential,
+        )
+        for t in range(config.num_threads)
+    ]
+    merged, thread_ids = interleave_traces(traces, config.interleave_interval)
+
+    cache = SetAssociativeCache(config.cache)
+    outcome = cache.simulate(merged.lines, scan_interval=config.scan_interval)
+    tlb_misses = 0
+    if config.tlb is not None:
+        tlb_misses = simulate_tlb(
+            merged.lines, config.cache.line_size, config.tlb
+        ).num_misses
+
+    return SimulationResult(
+        graph=graph,
+        config=config,
+        trace=merged,
+        hits=outcome.hits,
+        thread_ids=thread_ids,
+        snapshots=outcome.snapshots,
+        tlb_misses=tlb_misses,
+        partition_boundaries=boundaries,
+    )

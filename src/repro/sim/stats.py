@@ -1,0 +1,85 @@
+"""Per-access attribution of simulation outcomes to vertices.
+
+The paper's per-degree analyses need two different attributions of each
+random access (DESIGN.md §6):
+
+* by the vertex *whose data is accessed* (``u`` in Algorithm 1) — used
+  by Table III ("misses for accessing data of vertices with degree >
+  M"), where the relevant degree is how often ``u``'s data is read,
+  i.e. its out-degree in a pull traversal;
+* by the vertex *being processed* (``v``) — used by the Figure 1 miss
+  rate distributions, where processing a high-in-degree vertex requires
+  many random reads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.sim.address_space import Region
+from repro.sim.trace import MemoryTrace
+
+__all__ = ["VertexAccessStats", "attribute_random_accesses"]
+
+
+@dataclass(frozen=True)
+class VertexAccessStats:
+    """Random-access and miss counts per vertex under one attribution."""
+
+    accesses: np.ndarray
+    misses: np.ndarray
+
+    def miss_rate(self) -> np.ndarray:
+        """Per-vertex miss rate; NaN where a vertex got no accesses."""
+        with np.errstate(invalid="ignore", divide="ignore"):
+            return np.where(
+                self.accesses > 0, self.misses / self.accesses, np.nan
+            )
+
+    @property
+    def total_accesses(self) -> int:
+        return int(self.accesses.sum())
+
+    @property
+    def total_misses(self) -> int:
+        return int(self.misses.sum())
+
+
+def attribute_random_accesses(
+    trace: MemoryTrace,
+    hits: np.ndarray,
+    num_vertices: int,
+    *,
+    by: str = "read",
+    random_region: int = Region.VERTEX_DATA,
+) -> VertexAccessStats:
+    """Aggregate the trace's random accesses per vertex.
+
+    Parameters
+    ----------
+    by:
+        ``"read"`` attributes each random access to the vertex whose
+        data is touched; ``"proc"`` to the vertex being processed.
+    random_region:
+        Region whose accesses count as random (``VERTEX_DATA`` for pull
+        traces, ``VERTEX_OUT`` for push traces).
+    """
+    hits = np.asarray(hits)
+    if hits.shape[0] != len(trace):
+        raise SimulationError("hits array length must match the trace")
+    mask = trace.kinds == random_region
+    if by == "read":
+        vertices = trace.read_vertex[mask]
+    elif by == "proc":
+        vertices = trace.proc_vertex[mask]
+    else:
+        raise SimulationError(f"attribution must be 'read' or 'proc', got {by!r}")
+    if vertices.size and vertices.min() < 0:
+        raise SimulationError("random access without vertex attribution")
+    miss = 1 - hits[mask].astype(np.int64)
+    accesses = np.bincount(vertices, minlength=num_vertices).astype(np.int64)
+    misses = np.bincount(vertices, weights=miss, minlength=num_vertices).astype(np.int64)
+    return VertexAccessStats(accesses=accesses, misses=misses)

@@ -1,0 +1,226 @@
+"""SpMV memory-access trace generation.
+
+Reproduces the paper's instrumentation of Algorithm 1 "at source code
+level to call the simulator for every load/store" (Section V-B), but
+generates the whole access stream up front as numpy arrays so the cache
+simulator can consume it in one tight loop.
+
+Per processed vertex ``v`` the pull traversal emits, in program order:
+
+1. a read of ``offsets[v]`` / ``offsets[v+1]`` (sequential),
+2. per incoming edge: a read of the ``edges`` element (sequential
+   stream) followed by the **random read** of the neighbour's data
+   ``Di[u]``,
+3. the write of ``Di+1[v]`` (sequential).
+
+Sequential streams are emitted at cache-line granularity: intra-line
+re-reads are guaranteed hits and are not replayed individually; instead
+each newly-entered sequential line is emitted twice (access + one
+promotion) so recency-based policies observe the stream's short burst of
+reuse.  Random reads are emitted one per edge — they are the accesses
+every metric in the paper attributes and bins.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.graph.graph import Graph
+
+from repro.sim.address_space import AddressSpace, Region
+
+__all__ = ["MemoryTrace", "spmv_trace", "concatenate_traces"]
+
+
+@dataclass
+class MemoryTrace:
+    """A flat access stream plus per-access attribution.
+
+    Attributes
+    ----------
+    lines:
+        Cache-line ID of each access, in program order.
+    kinds:
+        Region code of each access (:class:`~repro.sim.address_space.Region`).
+    read_vertex:
+        For random vertex-data accesses, the vertex whose data is
+        touched (``u`` in Algorithm 1); ``-1`` elsewhere.
+    proc_vertex:
+        The vertex being processed (``v``) when the access was issued.
+    space:
+        The address space the line IDs refer to.
+    """
+
+    lines: np.ndarray
+    kinds: np.ndarray
+    read_vertex: np.ndarray
+    proc_vertex: np.ndarray
+    space: AddressSpace
+
+    def __post_init__(self) -> None:
+        n = self.lines.shape[0]
+        for arr in (self.kinds, self.read_vertex, self.proc_vertex):
+            if arr.shape[0] != n:
+                raise SimulationError("trace arrays must have equal length")
+
+    def __len__(self) -> int:
+        return self.lines.shape[0]
+
+    @property
+    def num_random_accesses(self) -> int:
+        return int((self.kinds == Region.VERTEX_DATA).sum())
+
+    def random_mask(self) -> np.ndarray:
+        """Boolean mask of the random vertex-data accesses."""
+        return self.kinds == Region.VERTEX_DATA
+
+
+def spmv_trace(
+    graph: Graph,
+    space: AddressSpace | None = None,
+    *,
+    direction: str = "pull",
+    vertex_range: tuple[int, int] | None = None,
+    promote_sequential: bool = True,
+) -> MemoryTrace:
+    """Generate the SpMV access trace of one traversal (or a slice of it).
+
+    Parameters
+    ----------
+    direction:
+        ``"pull"`` — CSC traversal, random *reads* of in-neighbour data
+        (Algorithm 1); ``"push"`` — CSR traversal, random *writes* of
+        out-neighbour data.
+    vertex_range:
+        Half-open ``[start, end)`` slice of the processing order; used by
+        the parallel simulation to emit one trace per thread partition.
+    promote_sequential:
+        Emit each newly-entered sequential line twice (see module doc).
+    """
+    if direction == "pull":
+        adj = graph.in_adj
+        random_region = Region.VERTEX_DATA
+    elif direction == "push":
+        adj = graph.out_adj
+        random_region = Region.VERTEX_OUT
+    else:
+        raise SimulationError(f"direction must be 'pull' or 'push', got {direction!r}")
+    if space is None:
+        space = AddressSpace(graph.num_vertices, graph.num_edges)
+
+    n = graph.num_vertices
+    if vertex_range is None:
+        start, end = 0, n
+    else:
+        start, end = vertex_range
+        if not (0 <= start <= end <= n):
+            raise SimulationError(f"vertex_range {vertex_range} outside [0, {n}]")
+
+    offsets = adj.offsets
+    vertices = np.arange(start, end, dtype=np.int64)
+    edge_lo, edge_hi = int(offsets[start]), int(offsets[end])
+    edge_indices = np.arange(edge_lo, edge_hi, dtype=np.int64)
+    neighbour = adj.targets[edge_lo:edge_hi]
+    degrees = np.diff(offsets[start : end + 1])
+    processed = np.repeat(vertices, degrees)
+
+    parts_lines: list[np.ndarray] = []
+    parts_kinds: list[np.ndarray] = []
+    parts_read: list[np.ndarray] = []
+    parts_proc: list[np.ndarray] = []
+    parts_pos: list[np.ndarray] = []
+
+    def _add(lines, kind, read_v, proc_v, pos):
+        parts_lines.append(lines)
+        parts_kinds.append(np.full(lines.shape[0], kind, dtype=np.uint8))
+        parts_read.append(read_v)
+        parts_proc.append(proc_v)
+        parts_pos.append(pos)
+
+    minus_one = lambda k: np.full(k, -1, dtype=np.int64)  # noqa: E731
+
+    # Offsets reads: one access per newly-entered offsets line, ordered
+    # just before the vertex's first edge.
+    if vertices.size:
+        off_lines = space.offsets_lines(vertices)
+        keep = np.ones(vertices.size, dtype=bool)
+        keep[1:] = off_lines[1:] != off_lines[:-1]
+        pos = offsets[vertices] * 10
+        _add(off_lines[keep], Region.OFFSETS, minus_one(int(keep.sum())),
+             vertices[keep], pos[keep])
+
+    # Edge-array stream: emit on line transitions (+ optional promotion).
+    if edge_indices.size:
+        e_lines = space.edges_lines(edge_indices)
+        keep = np.ones(edge_indices.size, dtype=bool)
+        keep[1:] = e_lines[1:] != e_lines[:-1]
+        kept_lines = e_lines[keep]
+        kept_proc = processed[keep]
+        kept_pos = edge_indices[keep] * 10 + 1
+        _add(kept_lines, Region.EDGES, minus_one(kept_lines.size), kept_proc, kept_pos)
+        if promote_sequential:
+            _add(kept_lines.copy(), Region.EDGES, minus_one(kept_lines.size),
+                 kept_proc.copy(), kept_pos + 1)
+
+    # Random accesses to neighbour data: one per edge, always emitted.
+    if edge_indices.size:
+        if direction == "pull":
+            d_lines = space.data_lines(neighbour)
+        else:
+            d_lines = space.out_lines(neighbour)
+        _add(d_lines, random_region, neighbour.astype(np.int64), processed,
+             edge_indices * 10 + 5)
+
+    # Own-vertex data access: the Di+1[v] write in pull, the Di[v] read
+    # in push; sequential either way, emitted on line transitions after
+    # the vertex's last edge.
+    if vertices.size:
+        if direction == "pull":
+            own_lines = space.out_lines(vertices)
+            own_region = Region.VERTEX_OUT
+        else:
+            own_lines = space.data_lines(vertices)
+            own_region = Region.VERTEX_DATA
+        keep = np.ones(vertices.size, dtype=bool)
+        keep[1:] = own_lines[1:] != own_lines[:-1]
+        pos = offsets[vertices + 1] * 10 + 9
+        _add(own_lines[keep], own_region, minus_one(int(keep.sum())),
+             vertices[keep], pos[keep])
+
+    if not parts_lines:
+        empty64 = np.zeros(0, dtype=np.int64)
+        return MemoryTrace(empty64, np.zeros(0, dtype=np.uint8), empty64.copy(),
+                           empty64.copy(), space)
+
+    lines = np.concatenate(parts_lines)
+    kinds = np.concatenate(parts_kinds)
+    read_vertex = np.concatenate(parts_read)
+    proc_vertex = np.concatenate(parts_proc)
+    positions = np.concatenate(parts_pos)
+    order = np.argsort(positions, kind="stable")
+    return MemoryTrace(
+        lines=lines[order],
+        kinds=kinds[order],
+        read_vertex=read_vertex[order],
+        proc_vertex=proc_vertex[order],
+        space=space,
+    )
+
+
+def concatenate_traces(traces: list[MemoryTrace]) -> MemoryTrace:
+    """Join traces back-to-back (they must share an address space)."""
+    if not traces:
+        raise SimulationError("cannot concatenate zero traces")
+    space = traces[0].space
+    if any(t.space is not space and t.space != space for t in traces):
+        raise SimulationError("traces use different address spaces")
+    return MemoryTrace(
+        lines=np.concatenate([t.lines for t in traces]),
+        kinds=np.concatenate([t.kinds for t in traces]),
+        read_vertex=np.concatenate([t.read_vertex for t in traces]),
+        proc_vertex=np.concatenate([t.proc_vertex for t in traces]),
+        space=space,
+    )

@@ -1,0 +1,67 @@
+"""Shared fixtures: small deterministic graphs sized for fast tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.generate import (
+    planted_partition_edges,
+    ring_edges,
+    social_network,
+    web_graph,
+)
+from repro.graph import Graph, build_graph
+
+
+@pytest.fixture
+def ring_graph() -> Graph:
+    """12-vertex directed ring: every vertex has in/out degree 1."""
+    src, dst = ring_edges(12)
+    return Graph.from_edges(12, src, dst, name="ring")
+
+
+@pytest.fixture
+def two_hop_ring() -> Graph:
+    """16-vertex ring with hops 1 and 2 (degrees exactly 2)."""
+    src, dst = ring_edges(16, hops=2)
+    return Graph.from_edges(16, src, dst, name="ring2")
+
+
+@pytest.fixture
+def star_graph() -> Graph:
+    """Star: vertex 0 receives one edge from everyone else."""
+    n = 20
+    src = np.arange(1, n, dtype=np.int64)
+    dst = np.zeros(n - 1, dtype=np.int64)
+    return Graph.from_edges(n, src, dst, name="star")
+
+
+@pytest.fixture
+def tiny_graph() -> Graph:
+    """Hand-built 6-vertex graph used by hand-computed metric tests.
+
+    Edges: 0->1, 0->2, 1->2, 2->0, 3->4, 4->3, 5->0.
+    """
+    src = np.array([0, 0, 1, 2, 3, 4, 5], dtype=np.int64)
+    dst = np.array([1, 2, 2, 0, 4, 3, 0], dtype=np.int64)
+    return Graph.from_edges(6, src, dst, name="tiny")
+
+
+@pytest.fixture(scope="session")
+def community_graph() -> Graph:
+    """Planted 8x32 communities with light inter-community noise."""
+    src, dst = planted_partition_edges(8, 32, 6, 1, seed=5)
+    return build_graph(8 * 32, src, dst, name="planted").graph
+
+
+@pytest.fixture(scope="session")
+def small_social() -> Graph:
+    """Small social-network analogue (session-scoped: ~0.1 s to build)."""
+    return social_network(scale=11, average_degree=12, seed=7, name="soc")
+
+
+@pytest.fixture(scope="session")
+def small_web() -> Graph:
+    """Small web-graph analogue (session-scoped)."""
+    return web_graph(num_vertices=2048, average_degree=12, seed=8, name="web")

@@ -1,0 +1,101 @@
+"""Unit tests for the frontier analytics (BFS, SSSP, frontier profile)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.graph import Graph, random_permutation, apply_to_vertex_data
+from repro.sim import bfs_levels, frontier_profile, sssp_distances
+
+
+def graph_of(n, edges):
+    src = np.array([e[0] for e in edges], dtype=np.int64)
+    dst = np.array([e[1] for e in edges], dtype=np.int64)
+    return Graph.from_edges(n, src, dst)
+
+
+class TestBFS:
+    def test_path_levels(self):
+        g = graph_of(4, [(0, 1), (1, 2), (2, 3)])
+        assert bfs_levels(g, 0).tolist() == [0, 1, 2, 3]
+
+    def test_unreachable_marked(self):
+        g = graph_of(4, [(0, 1), (2, 3)])
+        levels = bfs_levels(g, 0)
+        assert levels[2] == -1
+        assert levels[3] == -1
+
+    def test_direction_respected(self):
+        g = graph_of(2, [(1, 0)])
+        assert bfs_levels(g, 0).tolist() == [0, -1]
+
+    def test_ring_levels(self, ring_graph):
+        levels = bfs_levels(ring_graph, 0)
+        assert levels.tolist() == list(range(12))
+
+    def test_source_validation(self, ring_graph):
+        with pytest.raises(SimulationError):
+            bfs_levels(ring_graph, 99)
+
+    def test_invariant_under_relabeling(self, small_web):
+        perm = random_permutation(small_web.num_vertices, seed=2)
+        relabeled = small_web.permuted(perm)
+        source = 17
+        original = bfs_levels(small_web, source)
+        moved = bfs_levels(relabeled, int(perm[source]))
+        assert np.array_equal(apply_to_vertex_data(perm, original), moved)
+
+
+class TestSSSP:
+    def test_unit_weights_match_bfs(self, small_web):
+        source = 3
+        levels = bfs_levels(small_web, source)
+        distances = sssp_distances(small_web, source)
+        reachable = levels >= 0
+        assert np.array_equal(distances[reachable], levels[reachable])
+        assert np.isinf(distances[~reachable]).all()
+
+    def test_weighted_shortest_path(self):
+        # 0 -> 1 -> 2 is cheaper than the direct 0 -> 2
+        g = graph_of(3, [(0, 1), (1, 2), (0, 2)])
+        src, dst = g.edges()
+        weights = np.where((src == 0) & (dst == 2), 10.0, 1.0)
+        distances = sssp_distances(g, 0, weights)
+        assert distances.tolist() == [0.0, 1.0, 2.0]
+
+    def test_rejects_negative_weights(self, ring_graph):
+        weights = -np.ones(ring_graph.num_edges)
+        with pytest.raises(SimulationError):
+            sssp_distances(ring_graph, 0, weights)
+
+    def test_rejects_wrong_weight_shape(self, ring_graph):
+        with pytest.raises(SimulationError):
+            sssp_distances(ring_graph, 0, np.ones(3))
+
+    def test_max_rounds_truncates(self, ring_graph):
+        distances = sssp_distances(ring_graph, 0, max_rounds=3)
+        assert distances[3] == 3.0
+        assert np.isinf(distances[8])
+
+
+class TestFrontierProfile:
+    def test_dense_phase_dominates_on_web(self, small_web):
+        hub = int(np.argmax(small_web.out_degrees()))
+        profile = frontier_profile(small_web, hub)
+        assert profile.num_levels >= 2
+        # the paper's premise: most touched edges sit in dense phases
+        assert profile.dense_phase_share(threshold=0.05) > 0.5
+
+    def test_frontier_sizes_sum_to_reachable(self, small_web):
+        profile = frontier_profile(small_web, 0)
+        assert profile.frontier_sizes.sum() == (profile.levels >= 0).sum()
+
+    def test_isolated_source(self):
+        g = graph_of(3, [(1, 2)])
+        profile = frontier_profile(g, 0)
+        assert profile.num_levels == 1
+        assert profile.frontier_sizes.tolist() == [1]
+
+    def test_ring_has_no_dense_phase(self, ring_graph):
+        profile = frontier_profile(ring_graph, 0)
+        assert profile.dense_phase_share(threshold=0.5) == 0.0

@@ -1,0 +1,122 @@
+"""Unit tests for the reordering interface and baseline orderings."""
+
+import numpy as np
+import pytest
+
+from repro.errors import PermutationError, ReorderingError
+from repro.graph import Graph, invert_permutation, is_permutation, validate_graph
+from repro.reorder import (
+    BFSOrder,
+    DegreeSort,
+    Identity,
+    RandomOrder,
+    ReorderingAlgorithm,
+    algorithm_names,
+    get_algorithm,
+)
+
+
+class TestInterface:
+    def test_result_fields(self, tiny_graph):
+        result = Identity()(tiny_graph)
+        assert result.algorithm == "identity"
+        assert result.preprocessing_seconds >= 0
+        assert is_permutation(result.relabeling, 6)
+
+    def test_memory_tracking(self, tiny_graph):
+        result = RandomOrder()(tiny_graph, track_memory=True)
+        assert result.peak_memory_bytes > 0
+
+    def test_apply(self, tiny_graph):
+        result = RandomOrder(seed=3)(tiny_graph)
+        g2 = result.apply(tiny_graph)
+        validate_graph(g2)
+        assert g2.num_edges == tiny_graph.num_edges
+
+    def test_empty_graph_rejected(self):
+        g = Graph.from_edges(0, np.array([], dtype=np.int64),
+                             np.array([], dtype=np.int64))
+        with pytest.raises(ReorderingError):
+            Identity()(g)
+
+    def test_invalid_relabeling_caught(self, tiny_graph):
+        class Broken(ReorderingAlgorithm):
+            name = "broken"
+
+            def compute(self, graph, details):
+                return np.zeros(graph.num_vertices, dtype=np.int64)
+
+        with pytest.raises(PermutationError):
+            Broken()(tiny_graph)
+
+    def test_registry_round_trip(self):
+        for name in algorithm_names():
+            assert get_algorithm(name).name == name
+
+    def test_registry_unknown(self):
+        with pytest.raises(ReorderingError):
+            get_algorithm("sorting-hat")
+
+    def test_registry_kwargs(self):
+        algorithm = get_algorithm("random", seed=9)
+        assert algorithm.seed == 9
+
+
+class TestIdentityRandom:
+    def test_identity_is_identity(self, tiny_graph):
+        result = Identity()(tiny_graph)
+        assert result.relabeling.tolist() == list(range(6))
+
+    def test_random_seeded(self, tiny_graph):
+        a = RandomOrder(seed=1)(tiny_graph).relabeling
+        b = RandomOrder(seed=1)(tiny_graph).relabeling
+        c = RandomOrder(seed=2)(tiny_graph).relabeling
+        assert np.array_equal(a, b)
+        assert not np.array_equal(a, c)
+
+
+class TestDegreeSort:
+    def test_highest_degree_first(self, star_graph):
+        result = DegreeSort(direction="in")(star_graph)
+        assert result.relabeling[0] == 0  # hub gets ID 0
+
+    def test_ascending_option(self, star_graph):
+        result = DegreeSort(direction="in", descending=False)(star_graph)
+        assert result.relabeling[0] == 19  # hub gets the last ID
+
+    def test_order_sorted_by_degree(self, small_social):
+        result = DegreeSort(direction="total")(small_social)
+        order = invert_permutation(result.relabeling)
+        degrees = small_social.total_degrees()[order]
+        assert (np.diff(degrees) <= 0).all()
+
+    def test_stable_for_ties(self, ring_graph):
+        result = DegreeSort()(ring_graph)
+        assert result.relabeling.tolist() == list(range(12))
+
+    def test_unknown_direction(self):
+        with pytest.raises(ReorderingError):
+            DegreeSort(direction="up")
+
+
+class TestBFS:
+    def test_valid_permutation(self, small_web):
+        result = BFSOrder()(small_web)
+        assert is_permutation(result.relabeling, small_web.num_vertices)
+
+    def test_starts_from_max_degree(self, star_graph):
+        result = BFSOrder()(star_graph)
+        assert result.relabeling[0] == 0
+
+    def test_component_count_recorded(self):
+        # two disjoint pairs -> 2 components
+        g = Graph.from_edges(4, np.array([0, 2]), np.array([1, 3]))
+        result = BFSOrder()(g)
+        assert result.details["num_components_visited"] == 2
+
+    def test_neighbours_get_adjacent_ids_on_ring(self, ring_graph):
+        result = BFSOrder()(ring_graph)
+        order = invert_permutation(result.relabeling)
+        # BFS of a ring enumerates it in path order
+        diffs = np.abs(np.diff(ring_graph.out_adj.targets[order] - order))
+        assert diffs.max() <= ring_graph.num_vertices

@@ -1,0 +1,148 @@
+"""Unit tests for degree helpers, graph I/O, and validation."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.errors import GraphFormatError
+from repro.graph import (
+    Adjacency,
+    Graph,
+    degree_class_edges,
+    degree_class_labels,
+    degree_histogram,
+    degree_summary,
+    load_edge_list,
+    load_graph_npz,
+    normalized_degree_frequency,
+    power_law_tail_exponent,
+    save_edge_list,
+    save_graph_npz,
+    validate_graph,
+)
+
+
+class TestDegreeHelpers:
+    def test_histogram(self):
+        hist = degree_histogram(np.array([0, 1, 1, 3]))
+        assert hist.tolist() == [1, 2, 0, 1]
+
+    def test_histogram_min_length(self):
+        hist = degree_histogram(np.array([1]), max_degree=4)
+        assert hist.shape[0] == 5
+
+    def test_histogram_rejects_negative(self):
+        with pytest.raises(GraphFormatError):
+            degree_histogram(np.array([-1]))
+
+    def test_normalized_frequency_peak_is_one(self):
+        norm = normalized_degree_frequency(np.array([1, 1, 1, 2]))
+        assert norm.max() == 1.0
+        assert norm[1] == 1.0
+
+    def test_normalized_frequency_empty(self):
+        norm = normalized_degree_frequency(np.array([], dtype=np.int64))
+        assert norm.sum() == 0
+
+    def test_degree_classes(self):
+        classes = degree_class_edges(np.array([0, 1, 9, 10, 99, 100, 1000]))
+        assert classes.tolist() == [0, 0, 0, 1, 1, 2, 3]
+
+    def test_class_labels(self):
+        assert degree_class_labels(4) == ["1-10", "10-100", "100-1K", "1K-10K"]
+
+    def test_power_law_exponent_of_power_law(self):
+        # Exact Pareto tail via inverse transform: P(D > d) = (d/10)^-1.5,
+        # so the density exponent is 2.5.
+        rng = np.random.default_rng(0)
+        degrees = np.floor(10.0 * rng.random(20_000) ** (-1.0 / 1.5))
+        alpha = power_law_tail_exponent(degrees, d_min=10)
+        assert 2.3 < alpha < 2.7
+
+    def test_power_law_exponent_uniform_is_large(self):
+        degrees = np.full(1000, 12)
+        alpha = power_law_tail_exponent(degrees, d_min=10)
+        assert alpha > 5  # no heavy tail
+
+    def test_power_law_exponent_insufficient_tail(self):
+        assert np.isnan(power_law_tail_exponent(np.array([1, 2, 3]), d_min=10))
+
+    def test_degree_summary(self, star_graph):
+        summary = degree_summary(star_graph, "in")
+        assert summary.num_hubs == 1
+        assert summary.maximum == 19
+        assert summary.num_ldv + summary.num_hdv == 20
+
+
+class TestEdgeListIO:
+    def test_round_trip(self, tiny_graph, tmp_path):
+        path = tmp_path / "edges.txt"
+        save_edge_list(tiny_graph, path)
+        n, src, dst = load_edge_list(path)
+        rebuilt = Graph.from_edges(n, src, dst)
+        assert rebuilt == tiny_graph
+
+    def test_comments_and_blanks_ignored(self):
+        text = io.StringIO("# comment\n\n% other\n0 1\n1 2\n")
+        n, src, dst = load_edge_list(text)
+        assert n == 3
+        assert src.tolist() == [0, 1]
+
+    def test_extra_columns_tolerated(self):
+        n, src, dst = load_edge_list(io.StringIO("0 1 42\n"))
+        assert (src.tolist(), dst.tolist()) == ([0], [1])
+
+    def test_malformed_line(self):
+        with pytest.raises(GraphFormatError):
+            load_edge_list(io.StringIO("0\n"))
+
+    def test_non_integer(self):
+        with pytest.raises(GraphFormatError):
+            load_edge_list(io.StringIO("a b\n"))
+
+    def test_negative_id(self):
+        with pytest.raises(GraphFormatError):
+            load_edge_list(io.StringIO("-1 0\n"))
+
+    def test_empty_file(self):
+        n, src, dst = load_edge_list(io.StringIO(""))
+        assert n == 0
+        assert src.shape == (0,)
+
+
+class TestNpzIO:
+    def test_round_trip(self, tiny_graph, tmp_path):
+        path = tmp_path / "graph.npz"
+        save_graph_npz(tiny_graph, path)
+        loaded = load_graph_npz(path)
+        assert loaded == tiny_graph
+        assert loaded.name == "tiny"
+
+    def test_missing_arrays(self, tmp_path):
+        path = tmp_path / "bad.npz"
+        np.savez_compressed(path, out_offsets=np.array([0]))
+        with pytest.raises(GraphFormatError):
+            load_graph_npz(path)
+
+
+class TestValidate:
+    def test_valid_graph_passes(self, tiny_graph):
+        validate_graph(tiny_graph)
+
+    def test_inconsistent_directions_rejected(self):
+        out_adj = Adjacency.from_edges(3, np.array([0]), np.array([1]))
+        in_adj = Adjacency.from_edges(3, np.array([2]), np.array([1]))
+        bad = Graph(out_adj, in_adj)
+        with pytest.raises(GraphFormatError):
+            validate_graph(bad)
+
+    def test_unsorted_neighbours_rejected(self, tiny_graph):
+        raw = Adjacency(
+            tiny_graph.out_adj.offsets,
+            tiny_graph.out_adj.targets[::-1].copy(),
+            validate=False,
+        )
+        bad = Graph(raw, tiny_graph.in_adj)
+        with pytest.raises(GraphFormatError):
+            validate_graph(bad)

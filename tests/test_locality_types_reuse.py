@@ -1,0 +1,124 @@
+"""Unit tests for locality type classification and reuse distances."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    classify_locality_types,
+    reuse_distance_histogram,
+    reuse_distances,
+)
+from repro.sim import AddressSpace, MemoryTrace, Region
+from repro.sim.cache import CacheConfig, SetAssociativeCache
+
+
+def trace_from(records, num_vertices=64, num_edges=64):
+    """Build a MemoryTrace of random data accesses from tuples
+    (line, read_vertex, proc_vertex)."""
+    space = AddressSpace(num_vertices, num_edges)
+    lines = np.array([r[0] for r in records], dtype=np.int64)
+    # offset lines into the data region so region decoding stays valid
+    lines = lines + space.data_base // space.line_size
+    return MemoryTrace(
+        lines=lines,
+        kinds=np.full(len(records), Region.VERTEX_DATA, dtype=np.uint8),
+        read_vertex=np.array([r[1] for r in records], dtype=np.int64),
+        proc_vertex=np.array([r[2] for r in records], dtype=np.int64),
+        space=space,
+    )
+
+
+class TestLocalityTypes:
+    def test_type_i_same_processed_vertex(self):
+        # two neighbours of vertex 7 on the same line
+        trace = trace_from([(0, 1, 7), (0, 2, 7)])
+        counts = classify_locality_types(trace)
+        assert counts.type_i == 1
+        assert counts.cold == 1
+
+    def test_type_ii_common_neighbour(self):
+        # vertex 1's data reused while processing 7 then 8
+        trace = trace_from([(0, 1, 7), (0, 1, 8)])
+        counts = classify_locality_types(trace)
+        assert counts.type_ii == 1
+
+    def test_type_iii_distinct_neighbours_same_line(self):
+        trace = trace_from([(0, 1, 7), (0, 2, 8)])
+        counts = classify_locality_types(trace)
+        assert counts.type_iii == 1
+
+    def test_types_iv_v_need_threads(self):
+        trace = trace_from([(0, 1, 7), (0, 1, 8), (0, 2, 9)])
+        threads = np.array([0, 1, 1])
+        counts = classify_locality_types(trace, threads)
+        assert counts.type_iv == 1  # same u across threads
+        assert counts.type_iii == 1  # different u, same thread
+
+    def test_type_v(self):
+        trace = trace_from([(0, 1, 7), (0, 2, 8)])
+        counts = classify_locality_types(trace, np.array([0, 1]))
+        assert counts.type_v == 1
+
+    def test_single_thread_never_iv_v(self, small_web):
+        from repro.sim import spmv_trace
+
+        trace = spmv_trace(small_web)
+        counts = classify_locality_types(trace)
+        assert counts.type_iv == 0
+        assert counts.type_v == 0
+        assert counts.total_reuses + counts.cold == trace.num_random_accesses
+
+    def test_fractions_sum_to_one(self):
+        trace = trace_from([(0, 1, 7), (0, 1, 8), (0, 2, 8), (0, 3, 8)])
+        fractions = classify_locality_types(trace).fractions()
+        assert sum(fractions.values()) == pytest.approx(1.0)
+
+    def test_fractions_empty(self):
+        trace = trace_from([(0, 1, 7)])
+        fractions = classify_locality_types(trace).fractions()
+        assert all(value == 0.0 for value in fractions.values())
+
+
+class TestReuseDistances:
+    def test_hand_computed(self):
+        # a b a -> a's reuse skips one distinct line (b)
+        distances = reuse_distances(np.array([1, 2, 1]))
+        assert distances.tolist() == [-1, -1, 1]
+
+    def test_immediate_reuse_distance_zero(self):
+        distances = reuse_distances(np.array([5, 5]))
+        assert distances.tolist() == [-1, 0]
+
+    def test_repeated_intervening_line_counts_once(self):
+        # a b b a -> distance 1, not 2
+        distances = reuse_distances(np.array([1, 2, 2, 1]))
+        assert distances[-1] == 1
+
+    def test_histogram_cold_misses(self):
+        profile = reuse_distance_histogram(np.array([1, 2, 3]))
+        assert profile.cold_misses == 3
+        assert profile.total_reuses == 0
+
+    def test_histogram_counts(self):
+        profile = reuse_distance_histogram(np.array([1, 2, 1, 2]))
+        assert profile.total_reuses == 2
+
+    def test_miss_count_rejects_zero_cache(self):
+        from repro.errors import SimulationError
+
+        profile = reuse_distance_histogram(np.array([1, 1]))
+        with pytest.raises(SimulationError):
+            profile.miss_count_for_cache(0)
+
+    def test_cross_validates_fully_associative_lru(self):
+        """Reuse-distance-derived misses bound the simulated LRU cache."""
+        rng = np.random.default_rng(0)
+        lines = rng.integers(0, 32, size=600)
+        distances = reuse_distances(lines)
+        for ways in (4, 8, 16):
+            exact = int((distances == -1).sum() + (distances >= ways).sum())
+            cache = SetAssociativeCache(
+                CacheConfig(num_sets=1, ways=ways, policy="lru")
+            )
+            simulated = cache.simulate(lines).num_misses
+            assert simulated == exact

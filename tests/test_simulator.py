@@ -1,0 +1,148 @@
+"""Integration-level tests for the end-to-end SpMV cache simulation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import SimulationError
+from repro.graph import random_permutation
+from repro.sim import (
+    CacheConfig,
+    SimulationConfig,
+    TLBConfig,
+    TimingModel,
+    simulate_spmv,
+)
+
+
+@pytest.fixture(scope="module")
+def web_sim(small_web):
+    config = SimulationConfig.scaled_for(small_web, scan_interval=2000)
+    return simulate_spmv(small_web, config)
+
+
+class TestCounters:
+    def test_access_accounting(self, web_sim):
+        assert web_sim.num_accesses == len(web_sim.trace)
+        assert 0 <= web_sim.l3_misses <= web_sim.num_accesses
+
+    def test_random_access_count(self, web_sim, small_web):
+        assert web_sim.random_accesses == small_web.num_edges
+
+    def test_random_misses_bounded(self, web_sim):
+        assert 0 <= web_sim.random_misses <= web_sim.random_accesses
+        assert web_sim.random_miss_rate == pytest.approx(
+            web_sim.random_misses / web_sim.random_accesses
+        )
+
+    def test_stats_by_read_sum_to_edges(self, web_sim, small_web):
+        stats = web_sim.random_stats(by="read")
+        assert stats.total_accesses == small_web.num_edges
+        # each vertex's data is read once per out-neighbour
+        assert np.array_equal(stats.accesses, small_web.out_degrees())
+
+    def test_stats_by_proc_match_in_degrees(self, web_sim, small_web):
+        stats = web_sim.random_stats(by="proc")
+        assert np.array_equal(stats.accesses, small_web.in_degrees())
+
+    def test_miss_totals_agree_between_attributions(self, web_sim):
+        assert (
+            web_sim.random_stats(by="read").total_misses
+            == web_sim.random_stats(by="proc").total_misses
+        )
+
+
+class TestECS:
+    def test_ecs_in_range(self, web_sim):
+        samples = web_sim.effective_cache_size_samples()
+        assert samples.size > 0
+        assert ((samples >= 0) & (samples <= 100)).all()
+        assert 0 <= web_sim.effective_cache_size() <= 100
+
+    def test_ecs_requires_scans(self, small_web):
+        config = SimulationConfig.scaled_for(small_web)
+        sim = simulate_spmv(small_web, config)
+        with pytest.raises(SimulationError):
+            sim.effective_cache_size()
+
+
+class TestScheduleAndTiming:
+    def test_idle_percent_reasonable(self, web_sim):
+        assert 0.0 <= web_sim.schedule().idle_percent < 50.0
+
+    def test_traversal_time_positive(self, web_sim):
+        assert web_sim.traversal_time_ms() > 0
+
+    def test_per_vertex_cost_shape(self, web_sim, small_web):
+        cost = web_sim.per_vertex_cost()
+        assert cost.shape == (small_web.num_vertices,)
+        assert (cost >= 0).all()
+
+    def test_timing_model_monotone_in_misses(self):
+        timing = TimingModel()
+        fast = timing.traversal_time_ms(1000, 10)
+        slow = timing.traversal_time_ms(1000, 10_000)
+        assert slow > fast
+
+    def test_timing_model_idle_inflates(self):
+        timing = TimingModel()
+        assert timing.traversal_time_ms(1000, 10, idle_percent=50.0) > (
+            timing.traversal_time_ms(1000, 10, idle_percent=0.0)
+        )
+
+    def test_timing_model_validation(self):
+        timing = TimingModel()
+        with pytest.raises(SimulationError):
+            timing.traversal_time_ms(-1, 0)
+        with pytest.raises(SimulationError):
+            timing.traversal_time_ms(1, 1, idle_percent=100.0)
+        with pytest.raises(SimulationError):
+            TimingModel(clock_ghz=0)
+
+
+class TestConfiguration:
+    def test_config_validation(self):
+        cache = CacheConfig(num_sets=4, ways=2)
+        with pytest.raises(SimulationError):
+            SimulationConfig(cache=cache, num_threads=0)
+        with pytest.raises(SimulationError):
+            SimulationConfig(cache=cache, direction="both")
+
+    def test_config_and_kwargs_exclusive(self, small_web):
+        config = SimulationConfig.scaled_for(small_web)
+        with pytest.raises(SimulationError):
+            simulate_spmv(small_web, config, pressure=0.5)
+
+    def test_tlb_optional(self, small_web):
+        config = SimulationConfig(
+            cache=CacheConfig.scaled_for(small_web.num_vertices), tlb=None
+        )
+        sim = simulate_spmv(small_web, config)
+        assert sim.tlb_misses == 0
+
+    def test_tlb_counts_when_enabled(self, small_web):
+        config = SimulationConfig(
+            cache=CacheConfig.scaled_for(small_web.num_vertices),
+            tlb=TLBConfig.scaled_for(small_web.num_vertices),
+        )
+        sim = simulate_spmv(small_web, config)
+        assert sim.tlb_misses > 0
+        assert sim.tlb_misses < sim.num_accesses
+
+
+class TestLocalityOrdering:
+    def test_scrambling_increases_misses(self, small_web):
+        """The headline mechanism: vertex order changes miss counts."""
+        config = SimulationConfig.scaled_for(small_web)
+        baseline = simulate_spmv(small_web, config)
+        scrambled = small_web.permuted(
+            random_permutation(small_web.num_vertices, seed=11)
+        )
+        worse = simulate_spmv(scrambled, config)
+        assert worse.l3_misses > baseline.l3_misses
+
+    def test_deterministic(self, small_web):
+        config = SimulationConfig.scaled_for(small_web)
+        a = simulate_spmv(small_web, config)
+        b = simulate_spmv(small_web, config)
+        assert a.l3_misses == b.l3_misses
+        assert np.array_equal(a.hits, b.hits)

@@ -1,0 +1,109 @@
+"""Unit and property tests for the functional SpMV engine."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SimulationError
+from repro.graph import Graph, random_permutation, apply_to_vertex_data
+from repro.sim import pagerank, spmv_iterations, spmv_pull, spmv_push
+
+
+class TestPull:
+    def test_ring_shifts_data(self, ring_graph):
+        data = np.arange(12, dtype=np.float64)
+        out = spmv_pull(ring_graph, data)
+        # vertex v's only in-neighbour is v-1 (mod 12)
+        assert np.array_equal(out, np.roll(data, 1))
+
+    def test_star_sums_leaves(self, star_graph):
+        data = np.ones(20)
+        out = spmv_pull(star_graph, data)
+        assert out[0] == 19
+        assert (out[1:] == 0).all()
+
+    def test_shape_validation(self, ring_graph):
+        with pytest.raises(SimulationError):
+            spmv_pull(ring_graph, np.ones(5))
+
+
+class TestPushPullEquivalence:
+    def test_equal_on_tiny(self, tiny_graph):
+        data = np.array([1.0, 2.0, 4.0, 8.0, 16.0, 32.0])
+        assert np.array_equal(spmv_pull(tiny_graph, data),
+                              spmv_push(tiny_graph, data))
+
+    def test_equal_on_social(self, small_social):
+        rng = np.random.default_rng(0)
+        data = rng.random(small_social.num_vertices)
+        assert np.allclose(spmv_pull(small_social, data),
+                           spmv_push(small_social, data))
+
+    def test_iterations(self, ring_graph):
+        data = np.arange(12, dtype=np.float64)
+        out = spmv_iterations(ring_graph, data, 3)
+        assert np.array_equal(out, np.roll(data, 3))
+
+    def test_zero_iterations(self, ring_graph):
+        data = np.arange(12, dtype=np.float64)
+        assert np.array_equal(spmv_iterations(ring_graph, data, 0), data)
+
+    def test_negative_iterations(self, ring_graph):
+        with pytest.raises(SimulationError):
+            spmv_iterations(ring_graph, np.zeros(12), -1)
+
+    def test_unknown_direction(self, ring_graph):
+        with pytest.raises(SimulationError):
+            spmv_iterations(ring_graph, np.zeros(12), 1, direction="up")
+
+
+class TestRelabelingInvariance:
+    """The core oracle: relabeling never changes SpMV semantics."""
+
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=20, deadline=None)
+    def test_pull_invariant_under_relabeling(self, seed):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(2, 40))
+        m = int(rng.integers(1, 150))
+        src = rng.integers(0, n, size=m)
+        dst = rng.integers(0, n, size=m)
+        graph = Graph.from_edges(n, src, dst)
+        data = rng.random(n)
+
+        perm = random_permutation(n, seed=seed + 1)
+        relabeled = graph.permuted(perm)
+        moved = apply_to_vertex_data(perm, data)
+
+        original = spmv_pull(graph, data)
+        relabeled_out = spmv_pull(relabeled, moved)
+        assert np.allclose(apply_to_vertex_data(perm, original), relabeled_out)
+
+
+class TestPageRank:
+    def test_sums_to_one(self, small_web):
+        ranks = pagerank(small_web, iterations=25)
+        assert ranks.sum() == pytest.approx(1.0, abs=1e-9)
+        assert (ranks > 0).all()
+
+    def test_star_center_dominates(self, star_graph):
+        ranks = pagerank(star_graph, iterations=30)
+        assert ranks[0] == ranks.max()
+
+    def test_empty_graph(self):
+        g = Graph.from_edges(0, np.array([], dtype=np.int64),
+                             np.array([], dtype=np.int64))
+        assert pagerank(g).shape == (0,)
+
+    def test_converges_early(self, ring_graph):
+        a = pagerank(ring_graph, iterations=500, tolerance=1e-14)
+        b = pagerank(ring_graph, iterations=1000, tolerance=1e-14)
+        assert np.allclose(a, b)
+
+    def test_invariant_under_relabeling(self, small_social):
+        perm = random_permutation(small_social.num_vertices, seed=4)
+        relabeled = small_social.permuted(perm)
+        r1 = pagerank(small_social, iterations=20)
+        r2 = pagerank(relabeled, iterations=20)
+        assert np.allclose(apply_to_vertex_data(perm, r1), r2, atol=1e-12)
