@@ -9,12 +9,19 @@ drivers, the examples and the CLI-style ``python -m``-ish entry points.
 from __future__ import annotations
 
 import importlib
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, field
 
 from repro.errors import ExperimentError
 from repro.bench.workloads import Workloads, workloads as default_workloads
 
-__all__ = ["ExperimentReport", "EXPERIMENTS", "run_experiment", "experiment_ids"]
+__all__ = [
+    "ExperimentReport",
+    "EXPERIMENTS",
+    "run_experiment",
+    "run_experiments",
+    "experiment_ids",
+]
 
 
 @dataclass
@@ -89,3 +96,64 @@ def run_experiment(
             "expected ExperimentReport"
         )
     return report
+
+
+_EXECUTORS = ("serial", "thread", "process")
+
+
+def run_experiments(
+    ids: "list[str] | None" = None,
+    workloads: Workloads | None = None,
+    *,
+    executor: str = "serial",
+    max_workers: int | None = None,
+) -> "dict[str, ExperimentReport]":
+    """Run several experiments, optionally fanned out across workers.
+
+    Parameters
+    ----------
+    ids:
+        Experiment IDs to run (defaults to all registered experiments).
+    workloads:
+        Shared workload cache; only valid for ``serial``/``thread``
+        executors (process workers rebuild the default cache).
+    executor:
+        ``"serial"`` (default) runs in-process; ``"thread"`` uses a
+        ``ThreadPoolExecutor`` (worthwhile only when several cores are
+        available — NumPy releases the GIL for large array ops);
+        ``"process"`` uses a ``ProcessPoolExecutor`` for full isolation
+        at the cost of re-deriving workloads per worker.
+
+    Returns reports keyed by experiment ID, in the order requested.
+    Unknown IDs raise before anything runs.
+    """
+    if executor not in _EXECUTORS:
+        raise ExperimentError(
+            f"unknown executor {executor!r}; expected one of {_EXECUTORS}"
+        )
+    if ids is None:
+        ids = experiment_ids()
+    unknown = [i for i in ids if i not in EXPERIMENTS]
+    if unknown:
+        raise ExperimentError(
+            f"unknown experiments {unknown!r}; available: {experiment_ids()}"
+        )
+    if executor == "serial":
+        return {i: run_experiment(i, workloads) for i in ids}
+    if executor == "process":
+        if workloads is not None:
+            raise ExperimentError(
+                "a shared workloads cache cannot cross process boundaries; "
+                "use executor='serial' or 'thread' with custom workloads"
+            )
+        pool_cls = ProcessPoolExecutor
+        jobs = {i: (i, None) for i in ids}
+    else:
+        pool_cls = ThreadPoolExecutor
+        jobs = {i: (i, workloads) for i in ids}
+    results: "dict[str, ExperimentReport]" = {}
+    with pool_cls(max_workers=max_workers) as pool:
+        futures = {i: pool.submit(run_experiment, *args) for i, args in jobs.items()}
+        for i in ids:
+            results[i] = futures[i].result()
+    return results

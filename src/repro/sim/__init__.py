@@ -1,5 +1,6 @@
 """Simulation substrate: address space, cache/TLB, traces, SpMV, scheduling."""
 
+from repro.sim._kernels import kernel_mode, kernel_supported
 from repro.sim.address_space import AddressSpace, Region
 from repro.sim.analytics import (
     FrontierProfile,
@@ -34,6 +35,8 @@ from repro.sim.tlb import TLBConfig, lines_to_pages, simulate_tlb
 from repro.sim.trace import MemoryTrace, concatenate_traces, spmv_trace
 
 __all__ = [
+    "kernel_mode",
+    "kernel_supported",
     "AddressSpace",
     "Region",
     "FrontierProfile",

@@ -1,0 +1,831 @@
+"""Vectorized set-partitioned cache-simulation kernels.
+
+The reference simulator in :mod:`repro.sim.cache` replays one access at a
+time against lists-of-lists state — exact, readable, and slow (~1 µs per
+access).  This module replays the same trace with NumPy array state and is
+bit-exact with the reference for every policy: same hit bits, same
+snapshots, same PSEL / draw-cursor state after chained ``simulate`` calls.
+
+Architecture (see DESIGN.md for the long version):
+
+1.  **Set partitioning.**  Accesses to different cache sets never share
+    tag/RRPV state, so the trace is grouped by set index with one stable
+    argsort (int16 keys hit NumPy's radix sort).  Tags are stored
+    compressed as ``line // num_sets`` — the set index is implicit — which
+    usually fits int16 and halves compare bandwidth.
+
+2.  **Run dedup.**  Consecutive accesses to the same line *within a set
+    stream* are guaranteed hits that consume no BRRIP draw and no PSEL
+    update; for RRIP policies a run of length ≥ 2 leaves the line at
+    RRPV 0, equivalent to inserting the head of the run with RRPV 0.
+    The kernel therefore simulates only run heads and force-fills hits
+    for the tail — exact, and 25–60 % fewer simulated accesses on real
+    SpMV traces.
+
+3.  **Chunked lockstep replay.**  Each set stream is split into chunks of
+    ``chunk_len`` accesses; every (set, chunk) pair becomes one *stream*,
+    one column of a padded ``(chunk_len, num_streams)`` matrix.  One
+    Python-level loop over rows then steps thousands of streams at once
+    with O(10) NumPy ops per step.
+
+4.  **Exact LRU chunk entries via a prefix scan.**  LRU state after a
+    sequence is exactly the last ``ways`` distinct lines touched, in
+    recency order.  That summary is a monoid (concatenate, keep last
+    occurrence of each line, truncate), so per-chunk summaries — read off
+    the tail of each chunk — combine into exact chunk-entry states with a
+    segmented Hillis–Steele scan in ``log2(chunks)`` vectorized rounds.
+    LRU therefore needs a *single* lockstep pass.  No iteration.
+
+5.  **Fixed-point iteration for SRRIP/BRRIP/DRRIP.**  RRIP state does not
+    form a compact monoid, and BRRIP draws / DRRIP PSEL couple the sets
+    through global program order.  The kernel guesses chunk-entry states
+    (and, from the current global miss vector, every access's insertion
+    RRPV), replays all streams in lockstep, then propagates corrected
+    exits/inserts and re-simulates only the *dirty* streams until nothing
+    changes.  Any fixed point of that process equals the sequential
+    reference replay (induction on the first differing program position:
+    its set's entry state and insertion inputs match the reference, so the
+    kernel would have produced the reference outcome there).  Convergence
+    is typically 2 full passes plus a sparse tail; a work budget bounds
+    pathological cases, falling back to the reference loop.
+
+DRRIP is exact — the PSEL trajectory is reconstructed per pass with a
+saturating-walk replay of leader-set misses, and follower insertions read
+the trajectory through a searchsorted lookup, so no epoch-granularity
+approximation is needed.  In ``auto`` dispatch, however, BRRIP and DRRIP
+route to the reference loop: every BRRIP-mode miss consumes a random draw
+by global miss *rank*, so a single flipped hit bit reassigns every later
+draw, and on realistic traces that feedback keeps the fixed point in a
+limit cycle until the budget forces a fallback (measured in DESIGN.md).
+The kernel path remains available (and bit-exact, via fallback) under
+forced ``kernel`` mode and wins on traces where the iteration converges.
+
+Everything here treats the cache's canonical list state as the interface:
+arrays in, arrays out, with conversion at the boundary, so kernel and
+reference calls can interleave on the same cache object bit-exactly.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+__all__ = [
+    "kernel_mode",
+    "kernel_supported",
+    "kernel_simulate",
+]
+
+_RRPV_MAX = 3
+_BRRIP_LONG_PROB = 1.0 / 32.0
+_PSEL_MAX = 1023
+_PSEL_INIT = 512
+
+MODE_ENV = "REPRO_SIM_KERNEL"
+_MODES = ("auto", "kernel", "reference")
+
+# Dispatch heuristics: below these the reference loop's ~1 µs/access beats
+# the kernel's fixed grouping/padding overhead.
+_MIN_ACCESSES = 8192
+_MIN_SETS = 4
+_MIN_SCAN_INTERVAL = 4096
+
+# Chunking: aim for this many concurrent streams per lockstep pass
+# (empirically the sweet spot between NumPy per-call overhead at small
+# widths and cache pressure at large widths), never below _MIN_CHUNK rows.
+_TARGET_STREAMS = 8192
+_MIN_CHUNK = 32
+
+# Fixed-point work budget, in units of full-pass work (RRIP family only).
+_PASS_BUDGET = 12
+
+# RRIP-family chunk chains are bounded so corrections (which travel one
+# chunk per pass) settle within a few passes; LRU needs no bound (its
+# entry states come from an exact prefix scan, not iteration).
+_RRIP_MAX_CHAIN = 24
+
+
+def kernel_mode(explicit: str = "auto") -> str:
+    """Resolve the dispatch mode: the env var is the escape hatch."""
+    env = os.environ.get(MODE_ENV, "").strip().lower()
+    if env in _MODES:
+        return env
+    if explicit in _MODES:
+        return explicit
+    raise ValueError(f"unknown kernel mode {explicit!r}; expected one of {_MODES}")
+
+
+def kernel_possible(config, lines: np.ndarray) -> bool:
+    """Hard requirements: can the kernel replay this call at all?"""
+    if config.policy not in ("lru", "srrip", "brrip", "drrip"):
+        return False
+    if config.ways > _MIN_CHUNK:
+        return False
+    n = lines.shape[0]
+    if n == 0:
+        return False
+    if int(lines.min()) < 0:
+        return False
+    return True
+
+
+def kernel_profitable(config, lines: np.ndarray, scan_interval: int) -> bool:
+    """Size heuristics: is the kernel path likely to beat the reference?"""
+    if lines.shape[0] < _MIN_ACCESSES:
+        return False
+    if config.num_sets < _MIN_SETS:
+        return False
+    if scan_interval and scan_interval < _MIN_SCAN_INTERVAL:
+        return False
+    if config.policy in ("brrip", "drrip"):
+        # Every BRRIP-mode miss consumes a draw by global miss *rank*, so
+        # one flipped hit bit reassigns every later draw.  On realistic
+        # traces that feedback keeps the fixed point in a limit cycle
+        # until the work budget forces a reference fallback, so attempting
+        # the kernel only adds overhead; auto dispatch goes straight to
+        # the reference loop.  (Forced ``kernel`` mode still tries, and
+        # still falls back exactly — both paths stay bit-exact.)  See
+        # DESIGN.md for the measurements behind this.
+        return False
+    return True
+
+
+def kernel_supported(config, lines: np.ndarray, scan_interval: int) -> bool:
+    """Is the kernel path worthwhile (and valid) for this simulate call?"""
+    return kernel_possible(config, lines) and kernel_profitable(
+        config, lines, scan_interval
+    )
+
+
+# ---------------------------------------------------------------------------
+# State conversion: canonical list state <-> arrays
+# ---------------------------------------------------------------------------
+
+
+def _state_arrays(cache) -> Tuple[np.ndarray, np.ndarray]:
+    """Cache list state -> (tags, rrpv) int64/int8 arrays, (num_sets, ways).
+
+    Tags hold *compressed* values ``line // num_sets`` (-1 for invalid).
+    For LRU the way axis is recency order (way 0 = LRU), matching the
+    reference list layout; for RRIP it is positional.
+    """
+    num_sets = cache.config.num_sets
+    tags = np.asarray(cache._tags, dtype=np.int64)
+    rrpv = np.asarray(cache._rrpv, dtype=np.int8)
+    comp = np.where(tags >= 0, tags // num_sets, -1)
+    return comp, rrpv
+
+
+def _write_state(cache, tags: np.ndarray, rrpv: Optional[np.ndarray]) -> None:
+    num_sets = cache.config.num_sets
+    sets = np.arange(num_sets, dtype=np.int64)[:, None]
+    lines = np.where(tags >= 0, tags.astype(np.int64) * num_sets + sets, -1)
+    cache._tags = lines.tolist()
+    if rrpv is not None:
+        cache._rrpv = rrpv.astype(np.int64).tolist()
+
+
+def _resident_from_state(tags: np.ndarray, num_sets: int) -> np.ndarray:
+    """Match ``SetAssociativeCache.resident_lines`` byte-for-byte."""
+    sets = np.arange(num_sets, dtype=np.int64)[:, None]
+    lines = tags.astype(np.int64) * num_sets + sets
+    return lines[tags >= 0]
+
+
+# ---------------------------------------------------------------------------
+# Trace preparation: grouping, dedup, stream tables
+# ---------------------------------------------------------------------------
+
+
+class _Streams:
+    """Per-segment stream table shared by all policies."""
+
+    __slots__ = (
+        "n", "nd", "order", "keep", "didx", "run2", "head_prog",
+        "ded_sets", "counts_d", "chunk_len", "nchunks", "stream_base",
+        "num_streams", "sm_set", "sm_chunk", "sm_len", "col_of", "colperm",
+        "lens_desc", "steps", "pos_flat", "tag_dtype", "ded_tags",
+    )
+
+
+def _build_streams(
+    lines: np.ndarray, num_sets: int, max_chain: Optional[int] = None
+) -> _Streams:
+    st = _Streams()
+    n = lines.shape[0]
+    st.n = n
+
+    # Power-of-two geometries (the common case) take the shift/mask path;
+    # int64 mod/div over the whole trace is one of the larger fixed costs.
+    pow2 = num_sets & (num_sets - 1) == 0
+    if num_sets <= 1:
+        sets_full = np.zeros(n, dtype=np.int64)
+        tags_full = lines
+    elif pow2:
+        shift = num_sets.bit_length() - 1
+        sets_full = lines & (num_sets - 1)
+        tags_full = lines >> shift
+    else:
+        sets_full = lines % num_sets
+        tags_full = lines // num_sets
+    if num_sets <= (1 << 15):
+        sets = sets_full.astype(np.int16)
+    else:
+        sets = sets_full.astype(np.int32)
+
+    max_tag = int(lines.max()) // num_sets if n else 0
+    tag_dtype = np.int16 if max_tag < (1 << 15) - 1 else np.int32
+    st.tag_dtype = tag_dtype
+    tags_of = tags_full.astype(tag_dtype)
+
+    # Stable sort on narrow keys selects NumPy's radix sort.
+    order = np.argsort(sets, kind="stable")
+    st.order = order
+    sorted_tags = tags_of[order]
+    sorted_sets = sets[order]
+
+    # Run dedup: equal lines are always in the same set, so adjacent equal
+    # (set, tag) pairs in the sorted stream are consecutive same-line
+    # accesses of one set stream.
+    keep = np.empty(n, dtype=bool)
+    if n:
+        keep[0] = True
+        np.logical_or(
+            sorted_tags[1:] != sorted_tags[:-1],
+            sorted_sets[1:] != sorted_sets[:-1],
+            out=keep[1:],
+        )
+    st.keep = keep
+    didx = np.cumsum(keep, dtype=np.int64) - 1
+    st.didx = didx
+    heads = np.flatnonzero(keep)
+    nd = heads.shape[0]
+    st.nd = nd
+    run_len = np.diff(np.append(heads, n))
+    st.run2 = run_len >= 2
+    st.head_prog = order[heads]
+    st.ded_tags = sorted_tags[heads]
+    ded_sets = sorted_sets[heads].astype(np.int64)
+    st.ded_sets = ded_sets
+
+    counts_d = np.bincount(ded_sets, minlength=num_sets)
+    st.counts_d = counts_d
+    max_count = int(counts_d.max()) if num_sets else 0
+
+    chunk_len = max(_MIN_CHUNK, -(-nd // _TARGET_STREAMS))
+    if max_chain is not None and max_count:
+        # RRIP-family fixed-point convergence walks corrections down each
+        # set's chunk chain; bound the chain length so chunks are long
+        # enough to "forget" their speculative entry state.
+        chunk_len = max(chunk_len, -(-max_count // max_chain))
+    st.chunk_len = chunk_len
+    nchunks = -(-counts_d // chunk_len)
+    st.nchunks = nchunks
+    stream_base = np.concatenate(([0], np.cumsum(nchunks)))
+    st.stream_base = stream_base
+    T = int(stream_base[-1])
+    st.num_streams = T
+
+    sm_set = np.repeat(np.arange(num_sets, dtype=np.int64), nchunks)
+    st.sm_set = sm_set
+    sm_chunk = np.arange(T, dtype=np.int64) - stream_base[sm_set]
+    st.sm_chunk = sm_chunk
+    sm_len = np.minimum(chunk_len, counts_d[sm_set] - sm_chunk * chunk_len)
+    st.sm_len = sm_len
+
+    # Column order: longest streams first, so the active streams at row k
+    # are exactly the first A_per_step[k] columns.
+    colperm = np.argsort(-sm_len, kind="stable")
+    st.colperm = colperm
+    col_of = np.empty(T, dtype=np.int64)
+    col_of[colperm] = np.arange(T)
+    st.col_of = col_of
+    lens_desc = sm_len[colperm]
+    st.lens_desc = lens_desc
+    st.steps = np.searchsorted(
+        -lens_desc, -(np.arange(chunk_len, dtype=np.int64) + 1), side="right"
+    ).tolist()
+
+    # Flat (row-major) index of every deduped access in the padded
+    # (chunk_len, T) matrices: reused for the P/I scatters and H gather.
+    set_start_d = np.concatenate(([0], np.cumsum(counts_d)))
+    rank = np.arange(nd, dtype=np.int64) - set_start_d[ded_sets]
+    stream_sm = stream_base[ded_sets] + rank // chunk_len
+    row = rank % chunk_len
+    st.pos_flat = row * T + col_of[stream_sm]
+    return st
+
+
+def _pad_matrix(st: _Streams, values: np.ndarray, fill, dtype) -> np.ndarray:
+    M = np.full((st.chunk_len, st.num_streams), fill, dtype=dtype)
+    M.ravel()[st.pos_flat] = values
+    return M
+
+
+# ---------------------------------------------------------------------------
+# LRU recency summaries and the segmented merge scan
+# ---------------------------------------------------------------------------
+
+
+def _merge_recency(A: np.ndarray, B: np.ndarray) -> np.ndarray:
+    """Row-wise LRU-summary monoid combine.
+
+    Rows of ``A`` and ``B`` are recency lists (-1-padded at the LRU front,
+    most-recent last).  Result row = last ``ways`` distinct entries of
+    ``concat(A_row, B_row)``, keeping the *last* occurrence of each value.
+    """
+    ways = A.shape[1]
+    C = np.concatenate((A, B), axis=1)
+    w2 = C.shape[1]
+    # keep[j]: valid and not repeated later in the row.
+    dup_later = np.zeros(C.shape, dtype=bool)
+    eqm = C[:, :, None] == C[:, None, :]
+    tri = np.triu(np.ones((w2, w2), dtype=bool), k=1)
+    np.any(eqm & tri[None, :, :], axis=2, out=dup_later)
+    keep = (C != -1) & ~dup_later
+    idx = np.argsort(keep, axis=1, kind="stable")  # kept entries sort last
+    tail = idx[:, -ways:]
+    out = np.take_along_axis(C, tail, axis=1)
+    kept = np.take_along_axis(keep, tail, axis=1)
+    out[~kept] = -1
+    return out
+
+
+def _chunk_summaries(st: _Streams, P: np.ndarray, ways: int) -> np.ndarray:
+    """Exact per-stream summary R(chunk): last ``ways`` distinct tags.
+
+    Computed from a suffix window of each chunk, doubling the window for
+    the rare streams whose tail has fewer than ``ways`` distinct lines.
+    ``P``'s -1 padding doubles as "before start of stream" filler.
+    Returns (num_streams, ways) in set-major stream order.
+    """
+    T = st.num_streams
+    CL = st.chunk_len
+    lens = st.sm_len
+    cols = st.col_of
+    summ = np.full((T, ways), -1, dtype=P.dtype)
+    pending = np.arange(T, dtype=np.int64)
+    W = min(max(2 * ways, 4), CL)
+    while pending.shape[0]:
+        L = lens[pending]
+        off = np.maximum(0, L - W)
+        rows = off[:, None] + np.arange(W, dtype=np.int64)[None, :]
+        rows = np.minimum(rows, CL - 1)  # only padded (-1) rows are clamped
+        C = P.ravel()[rows * T + cols[pending, None]]
+        w2 = C.shape[1]
+        eqm = C[:, :, None] == C[:, None, :]
+        tri = np.triu(np.ones((w2, w2), dtype=bool), k=1)
+        dup_later = np.any(eqm & tri[None, :, :], axis=2)
+        keep = (C != -1) & ~dup_later
+        count = keep.sum(axis=1)
+        idx = np.argsort(keep, axis=1, kind="stable")
+        tail = idx[:, -ways:]
+        got = np.take_along_axis(C, tail, axis=1)
+        kept = np.take_along_axis(keep, tail, axis=1)
+        got[~kept] = -1
+        done = (count >= ways) | (off == 0)
+        summ[pending[done]] = got[done]
+        pending = pending[~done]
+        W = min(2 * W, CL)
+    return summ
+
+
+def _lru_entries(st: _Streams, P: np.ndarray, state_tags: np.ndarray,
+                 ways: int) -> np.ndarray:
+    """Exact LRU entry state for every stream via a segmented prefix scan.
+
+    Returns (num_streams, ways) recency rows: entry state each chunk sees.
+    """
+    T = st.num_streams
+    summ = _chunk_summaries(st, P, ways)
+    # Segmented inclusive Hillis-Steele scan of the summary monoid along
+    # each set's chunk chain (chains are contiguous in set-major order).
+    pref = summ.copy()
+    max_chunk = int(st.sm_chunk.max(initial=0))
+    d = 1
+    while d <= max_chunk:
+        # Rows already full cannot change (merge(X, full) == full).
+        todo = np.flatnonzero((st.sm_chunk >= d) & (pref[:, 0] == -1))
+        if todo.shape[0]:
+            pref[todo] = _merge_recency(pref[todo - d], pref[todo])
+        d <<= 1
+
+    entries = np.empty((T, ways), dtype=P.dtype)
+    first = st.sm_chunk == 0
+    init = state_tags[st.sm_set].astype(P.dtype)
+    entries[first] = init[first]
+    later = ~first
+    if np.any(later):
+        entries[later] = _merge_recency(init[later], pref[np.flatnonzero(later) - 1])
+    return entries
+
+
+# ---------------------------------------------------------------------------
+# Lockstep replay loops
+# ---------------------------------------------------------------------------
+
+
+def _lockstep_lru(P, steps, tagsT, negT, H):
+    """One exact LRU pass over all columns. State arrays are (ways, S).
+
+    ``negT`` holds *negated* last-use times, so one argmax yields the
+    way to write: scattering a sentinel at the matched position makes
+    hit columns pick their match while miss columns pick the LRU victim
+    (max negated time == min time).  The sentinel needs no cleanup — the
+    chosen way's time is overwritten right after, every step.
+    """
+    ways, S = tagsT.shape
+    ar = np.arange(S, dtype=np.int64)
+    tflat = tagsT.ravel()
+    nflat = negT.ravel()
+    big = np.iinfo(negT.dtype).max
+    eqb = np.empty((ways, S), dtype=bool)
+    hitb = np.empty(S, dtype=bool)
+    wayb = np.empty(S, dtype=np.int64)
+    for k in range(P.shape[0]):
+        A = steps[k]
+        if A == 0:
+            break
+        cur = P[k, :A]
+        eq = eqb[:, :A]
+        np.equal(tagsT[:, :A], cur[None, :], out=eq)
+        hit = hitb[:A]
+        eq.any(axis=0, out=hit)
+        H[k, :A] = hit
+        negT[:, :A][eq] = big
+        way = wayb[:A]
+        negT[:, :A].argmax(axis=0, out=way)
+        way *= S
+        way += ar[:A]
+        tflat[way] = cur
+        nflat[way] = -k
+
+
+def _lockstep_rrip(P, I, steps, tagsT, rrpvT, H):
+    """One RRIP-family pass. ``I`` carries each access's insertion RRPV."""
+    ways, S = tagsT.shape
+    ar = np.arange(S, dtype=np.int64)
+    tflat = tagsT.ravel()
+    rflat = rrpvT.ravel()
+    zero8 = np.int8(0)
+    eqb = np.empty((ways, S), dtype=bool)
+    hitb = np.empty(S, dtype=bool)
+    hwb = np.empty(S, dtype=np.int64)
+    vb = np.empty(S, dtype=np.int64)
+    defb = np.empty(S, dtype=np.int8)
+    insb = np.empty(S, dtype=np.int8)
+    for k in range(P.shape[0]):
+        A = steps[k]
+        if A == 0:
+            break
+        cur = P[k, :A]
+        eq = eqb[:, :A]
+        np.equal(tagsT[:, :A], cur[None, :], out=eq)
+        hit = hitb[:A]
+        eq.any(axis=0, out=hit)
+        H[k, :A] = hit
+        hw = hwb[:A]
+        eq.argmax(axis=0, out=hw)
+        # Victim = first way at RRPV_MAX after uniform aging; a uniform
+        # increment keeps the argmax position, so pick it before aging.
+        victim = vb[:A]
+        rrpvT[:, :A].argmax(axis=0, out=victim)
+        flatv = victim * S
+        flatv += ar[:A]
+        deficit = defb[:A]
+        np.subtract(_RRPV_MAX, rflat[flatv], out=deficit)
+        deficit[hit] = zero8
+        if deficit.any():
+            rrpvT[:, :A] += deficit[None, :]
+        np.copyto(flatv, hw * S + ar[:A], where=hit)
+        ins = insb[:A]
+        np.copyto(ins, I[k, :A])
+        ins[hit] = zero8
+        tflat[flatv] = cur
+        rflat[flatv] = ins
+
+
+# ---------------------------------------------------------------------------
+# Program-order insertion values (BRRIP draws + DRRIP PSEL)
+# ---------------------------------------------------------------------------
+
+
+def _saturating_walk(p0: int, deltas: np.ndarray) -> np.ndarray:
+    """PSEL trajectory: p[i] = clip(p[i-1] + deltas[i], 0, _PSEL_MAX).
+
+    Fast path: if the raw cumulative walk never leaves the valid range the
+    clamps never fire.  Otherwise replay blockwise, restarting the
+    cumulative sum at each clamp event.
+    """
+    raw = np.cumsum(deltas, dtype=np.int64) + p0
+    if raw.shape[0] == 0:
+        return raw
+    if 0 <= raw.min() and raw.max() <= _PSEL_MAX:
+        return raw
+    out = np.empty_like(raw)
+    base = p0
+    start = 0
+    n = deltas.shape[0]
+    restarts = 0
+    while start < n:
+        restarts += 1
+        if restarts > 64:
+            # Heavily clamped walk: scalar replay of the remainder.
+            p = base
+            for i, d in enumerate(deltas[start:].tolist()):
+                p = min(_PSEL_MAX, max(0, p + d))
+                out[start + i] = p
+            break
+        seg = np.cumsum(deltas[start:], dtype=np.int64) + base
+        bad = np.flatnonzero((seg < 0) | (seg > _PSEL_MAX))
+        if bad.shape[0] == 0:
+            out[start:] = seg
+            break
+        b = int(bad[0])
+        out[start:start + b] = seg[:b]
+        base = 0 if seg[b] < 0 else _PSEL_MAX
+        out[start + b] = base
+        start += b + 1
+    return out
+
+
+def _insert_values(policy: str, miss: np.ndarray, role_acc, psel0: int,
+                   cursor0: int, draws: np.ndarray):
+    """Insertion RRPVs for the miss positions of a program-order trace.
+
+    Returns ``(miss_pos, ins_at_miss, psel_final, n_draws)``.
+    """
+    miss_pos = np.flatnonzero(miss)
+    nm = miss_pos.shape[0]
+    if policy == "srrip":
+        return miss_pos, np.full(nm, _RRPV_MAX - 1, np.int8), psel0, 0
+    if policy == "brrip":
+        use_b = np.ones(nm, dtype=bool)
+        psel_final = psel0
+    else:  # drrip
+        roles = role_acc[miss_pos]
+        leader = roles != 0
+        e_idx = np.flatnonzero(leader)
+        deltas = np.where(roles[e_idx] == 1, 1, -1).astype(np.int64)
+        traj = _saturating_walk(psel0, deltas)
+        psel_final = int(traj[-1]) if traj.shape[0] else psel0
+        # Follower miss i reads PSEL after every leader miss before it.
+        before = np.searchsorted(e_idx, np.arange(nm), side="left")
+        traj0 = np.concatenate(([psel0], traj))
+        psel_at = traj0[before]
+        use_b = np.where(leader, roles == 2, psel_at >= _PSEL_INIT)
+
+    ranks = np.cumsum(use_b) - 1  # draw index per consuming miss
+    nb = int(use_b.sum())
+    dlen = draws.shape[0]
+    ins = np.full(nm, _RRPV_MAX - 1, np.int8)
+    took = np.flatnonzero(use_b)
+    dvals = draws[(cursor0 + ranks[took]) % dlen]
+    ins[took] = np.where(dvals < _BRRIP_LONG_PROB, _RRPV_MAX - 1, _RRPV_MAX)
+    return miss_pos, ins, psel_final, nb
+
+
+# ---------------------------------------------------------------------------
+# Per-segment drivers
+# ---------------------------------------------------------------------------
+
+
+def _hits_program_order(st: _Streams, H: np.ndarray) -> np.ndarray:
+    """Scatter padded-matrix hit bits back to program order (uint8)."""
+    hit_sorted = H.ravel()[st.pos_flat][st.didx]
+    np.logical_or(hit_sorted, ~st.keep, out=hit_sorted)
+    hits = np.empty(st.n, dtype=np.uint8)
+    hits[st.order] = hit_sorted
+    return hits
+
+
+def _segment_lru(st: _Streams, state_tags: np.ndarray, ways: int):
+    """Single-pass exact LRU replay of one segment."""
+    T = st.num_streams
+    CL = st.chunk_len
+    P = _pad_matrix(st, st.ded_tags, -1, st.tag_dtype)
+    entries = _lru_entries(st, P, state_tags, ways)
+
+    tagsT = np.ascontiguousarray(entries[st.colperm].T)
+    # Negated last-use times; init way 0 (LRU front) with the largest
+    # value so it is evicted first.  Values stay distinct per column.
+    neg_dtype = np.int16 if CL < (1 << 15) - 1 else np.int32
+    negT = np.broadcast_to(
+        np.arange(ways, 0, -1, dtype=neg_dtype)[:, None], (ways, T)
+    ).copy()
+    H = np.zeros((CL, T), dtype=bool)
+    _lockstep_lru(P, st.steps, tagsT, negT, H)
+
+    # Final state: canonicalize only each set's last chunk back to recency
+    # order (descending negated time = ascending last-use = LRU..MRU).
+    has = np.flatnonzero(st.nchunks > 0)
+    last_stream = st.stream_base[has] + st.nchunks[has] - 1
+    cols = st.col_of[last_stream]
+    order = np.argsort(negT[:, cols], axis=0, kind="stable")[::-1, :]
+    out_tags = state_tags.copy()
+    out_tags[has] = np.take_along_axis(tagsT[:, cols], order, axis=0).T
+    return _hits_program_order(st, H), out_tags
+
+
+def _segment_rrip(st: _Streams, policy: str, state_tags: np.ndarray,
+                  state_rrpv: np.ndarray, ways: int, psel0: int, cursor0: int,
+                  draws: np.ndarray, role_acc: Optional[np.ndarray]):
+    """Fixed-point replay of one segment for srrip/brrip/drrip.
+
+    Returns ``(hits, out_tags, out_rrpv, psel, cursor)`` or ``None`` when
+    the work budget is exhausted (caller falls back to the reference).
+    """
+    T = st.num_streams
+    CL = st.chunk_len
+    P = _pad_matrix(st, st.ded_tags, -1, st.tag_dtype)
+
+    # Entry guesses: chunk 0 gets the real state; later chunks borrow the
+    # previous chunk's recency summary with a flat RRPV-2 guess — close
+    # enough that pass 2 usually confirms most streams untouched.
+    summ = _chunk_summaries(st, P, ways)
+    ent_tags_sm = np.empty((T, ways), dtype=st.tag_dtype)
+    ent_rrpv_sm = np.empty((T, ways), dtype=np.int8)
+    first = st.sm_chunk == 0
+    ent_tags_sm[first] = state_tags[st.sm_set[first]].astype(st.tag_dtype)
+    ent_rrpv_sm[first] = state_rrpv[st.sm_set[first]]
+    later = np.flatnonzero(~first)
+    ent_tags_sm[later] = summ[later - 1]
+    ent_rrpv_sm[later] = np.where(summ[later - 1] == -1, _RRPV_MAX, _RRPV_MAX - 1)
+
+    E_tags = np.ascontiguousarray(ent_tags_sm[st.colperm].T)
+    E_rrpv = np.ascontiguousarray(ent_rrpv_sm[st.colperm].T)
+    X_tags = np.full((ways, T), -2, dtype=st.tag_dtype)
+    X_rrpv = np.zeros((ways, T), dtype=np.int8)
+    H = np.zeros((CL, T), dtype=bool)
+    I = np.full((CL, T), _RRPV_MAX - 1, dtype=np.int8)
+    # A run of length >= 2 pins its line at RRPV 0 whatever the insertion
+    # policy says (the duplicate hits promote it); for SRRIP this is the
+    # only deviation from the constant insert-2, so I is final here.
+    I.ravel()[st.pos_flat[st.run2]] = 0
+
+    # Successor column of each column's stream (or -1): the next chunk of
+    # the same set, mapped from set-major stream ids to column ids.
+    has_next = np.flatnonzero(st.sm_chunk + 1 < st.nchunks[st.sm_set])
+    succ_col = np.full(T, -1, dtype=np.int64)
+    succ_col[st.col_of[has_next]] = st.col_of[has_next + 1]
+
+    need_inserts = policy in ("brrip", "drrip")
+    ins_ded_prev = None
+    psel_final, n_draws = psel0, 0
+    dirty = np.ones(T, dtype=bool)
+    budget = _PASS_BUDGET * T
+    debug = bool(os.environ.get("REPRO_SIM_KERNEL_DEBUG"))
+    pass_no = 0
+
+    while True:
+        pass_no += 1
+        cols = np.flatnonzero(dirty)
+        budget -= cols.shape[0]
+        if budget < 0:
+            return None
+        if cols.shape[0] == T:
+            subP, subI = P, I
+            sub_tags, sub_rrpv = E_tags.copy(), E_rrpv.copy()
+            subH = H
+            sub_steps = st.steps
+        else:
+            subP = P[:, cols]
+            subI = I[:, cols]
+            sub_tags = E_tags[:, cols].copy()
+            sub_rrpv = E_rrpv[:, cols].copy()
+            subH = np.zeros((CL, cols.shape[0]), dtype=bool)
+            sub_lens = st.lens_desc[cols]  # cols ascending => still desc
+            sub_steps = np.searchsorted(
+                -sub_lens, -(np.arange(CL, dtype=np.int64) + 1), side="right"
+            ).tolist()
+        _lockstep_rrip(subP, subI, sub_steps, sub_tags, sub_rrpv, subH)
+        if cols.shape[0] != T:
+            H[:, cols] = subH
+
+        exit_changed = np.any(sub_tags != X_tags[:, cols], axis=0)
+        exit_changed |= np.any(sub_rrpv != X_rrpv[:, cols], axis=0)
+        X_tags[:, cols] = sub_tags
+        X_rrpv[:, cols] = sub_rrpv
+
+        dirty = np.zeros(T, dtype=bool)
+        src = cols[exit_changed]
+        dst = succ_col[src]
+        src, dst = src[dst >= 0], dst[dst >= 0]
+        if src.shape[0]:
+            entry_changed = np.any(E_tags[:, dst] != X_tags[:, src], axis=0)
+            entry_changed |= np.any(E_rrpv[:, dst] != X_rrpv[:, src], axis=0)
+            E_tags[:, dst] = X_tags[:, src]
+            E_rrpv[:, dst] = X_rrpv[:, src]
+            dirty[dst[entry_changed]] = True
+
+        if need_inserts:
+            hit_sorted = H.ravel()[st.pos_flat][st.didx]
+            np.logical_or(hit_sorted, ~st.keep, out=hit_sorted)
+            miss_prog = np.zeros(st.n, dtype=bool)
+            miss_prog[st.order] = ~hit_sorted
+            miss_pos, ins_at_miss, psel_final, n_draws = _insert_values(
+                policy, miss_prog, role_acc, psel0, cursor0, draws
+            )
+            ded_miss = np.flatnonzero(~hit_sorted[st.keep])
+            loc = np.searchsorted(miss_pos, st.head_prog[ded_miss])
+            ins_ded = np.full(st.nd, _RRPV_MAX - 1, dtype=np.int8)
+            ins_ded[ded_miss] = ins_at_miss[loc]
+            # A run of length >= 2 pins the line at RRPV 0 regardless of
+            # the drawn insertion (the duplicate hit promotes it).
+            ins_ded[st.run2] = 0
+            if ins_ded_prev is None:
+                chg = np.arange(st.nd)
+            else:
+                chg = np.flatnonzero(ins_ded != ins_ded_prev)
+            if chg.shape[0]:
+                flat = st.pos_flat[chg]
+                I.ravel()[flat] = ins_ded[chg]
+                dirty[flat % T] = True
+            if debug:
+                print(
+                    f"    pass {pass_no}: simmed={cols.shape[0]} "
+                    f"entry_dirty={int(dirty.sum())} ins_chg={chg.shape[0]} "
+                    f"misses={miss_pos.shape[0]}"
+                )
+            ins_ded_prev = ins_ded
+        elif debug:
+            print(f"    pass {pass_no}: simmed={cols.shape[0]} "
+                  f"entry_dirty={int(dirty.sum())}")
+
+        if not dirty.any():
+            break
+
+    hits = _hits_program_order(st, H)
+    has = np.flatnonzero(st.nchunks > 0)
+    last_stream = st.stream_base[has] + st.nchunks[has] - 1
+    cols = st.col_of[last_stream]
+    out_tags = state_tags.copy()
+    out_rrpv = state_rrpv.copy()
+    out_tags[has] = X_tags[:, cols].T
+    out_rrpv[has] = X_rrpv[:, cols].T
+    cursor = (cursor0 + n_draws) % draws.shape[0] if need_inserts else cursor0
+    return hits, out_tags, out_rrpv, psel_final, int(cursor)
+
+
+# ---------------------------------------------------------------------------
+# Top-level entry point
+# ---------------------------------------------------------------------------
+
+
+def kernel_simulate(cache, lines: np.ndarray, scan_interval: int):
+    """Kernel-path replacement for ``SetAssociativeCache.simulate``.
+
+    Returns ``(hits, snapshots)`` and mutates the cache state exactly as
+    the reference loop would, or ``None`` if the kernel declined (caller
+    must then run the reference loop on the *unmodified* cache).
+    """
+    config = cache.config
+    policy = config.policy
+    num_sets, ways = config.num_sets, config.ways
+    n = lines.shape[0]
+
+    state_tags, state_rrpv = _state_arrays(cache)
+    psel = cache._psel
+    cursor = cache._draw_cursor
+    draws = cache._brrip_draws
+    if policy == "drrip":
+        role_acc = np.asarray(cache._role, dtype=np.int8)[lines % num_sets]
+    else:
+        role_acc = None
+
+    hits = np.empty(n, dtype=np.uint8)
+    snapshots = []
+
+    if scan_interval:
+        seg_edges = list(range(0, n, scan_interval)) + [n]
+    else:
+        seg_edges = [0, n]
+
+    for gi in range(len(seg_edges) - 1):
+        lo, hi = seg_edges[gi], seg_edges[gi + 1]
+        st = _build_streams(
+            lines[lo:hi],
+            num_sets,
+            max_chain=None if policy == "lru" else _RRIP_MAX_CHAIN,
+        )
+        if policy == "lru":
+            seg_hits, state_tags = _segment_lru(st, state_tags, ways)
+        else:
+            res = _segment_rrip(
+                st, policy, state_tags, state_rrpv, ways, psel, cursor,
+                draws, role_acc[lo:hi] if role_acc is not None else None,
+            )
+            if res is None:
+                return None
+            seg_hits, state_tags, state_rrpv, psel, cursor = res
+        hits[lo:hi] = seg_hits
+        if scan_interval and hi % scan_interval == 0:
+            snapshots.append((hi, _resident_from_state(state_tags, num_sets)))
+
+    # Reference LRU never touches RRPV state; keep it bit-identical.
+    _write_state(cache, state_tags, state_rrpv if policy != "lru" else None)
+    cache._psel = psel
+    cache._draw_cursor = cursor
+    return hits, snapshots

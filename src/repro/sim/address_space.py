@@ -133,3 +133,28 @@ class AddressSpace:
         """Histogram of lines per region (length ``Region.COUNT``)."""
         regions = self.region_of_lines(lines)
         return np.bincount(regions, minlength=Region.COUNT).astype(np.int64)
+
+    def region_counts_batch(self, line_groups: "list[np.ndarray]") -> np.ndarray:
+        """Region histograms for many line groups in one pass.
+
+        Equivalent to ``np.stack([self.region_counts(g) for g in
+        line_groups])`` but classifies the concatenated lines once and
+        splits the histogram with a single ``bincount`` over
+        ``group_id * Region.COUNT + region`` keys.  Used by the ECS
+        metric, whose snapshots arrive as many small resident-line sets.
+        Returns an int64 array of shape ``(len(line_groups),
+        Region.COUNT)``.
+        """
+        num_groups = len(line_groups)
+        if num_groups == 0:
+            return np.zeros((0, Region.COUNT), dtype=np.int64)
+        lengths = np.array([np.asarray(g).shape[0] for g in line_groups])
+        total = int(lengths.sum())
+        if total == 0:
+            return np.zeros((num_groups, Region.COUNT), dtype=np.int64)
+        all_lines = np.concatenate([np.asarray(g) for g in line_groups])
+        regions = self.region_of_lines(all_lines)
+        gid = np.repeat(np.arange(num_groups, dtype=np.int64), lengths)
+        keys = gid * Region.COUNT + regions
+        counts = np.bincount(keys, minlength=num_groups * Region.COUNT)
+        return counts.reshape(num_groups, Region.COUNT).astype(np.int64)

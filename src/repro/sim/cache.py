@@ -19,6 +19,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.errors import SimulationError
+from repro.sim import _kernels
 
 __all__ = ["CacheConfig", "CacheSnapshot", "SetAssociativeCache", "count_cold_misses"]
 
@@ -121,9 +122,60 @@ class SetAssociativeCache:
     # -- single-access reference API (tests, incremental use) ----------------
 
     def access(self, line: int) -> bool:
-        """Access one cache line; returns True on hit."""
-        hits = self.simulate(np.asarray([line], dtype=np.int64)).hits
-        return bool(hits[0])
+        """Access one cache line; returns True on hit.
+
+        Scalar fast path: operates on the list state directly instead of
+        routing a length-1 ndarray through :meth:`simulate`.
+        """
+        line = int(line)
+        s = line % self.config.num_sets
+        ts = self._tags[s]
+        if self.config.policy == "lru":
+            if line in ts:
+                ts.remove(line)
+                ts.append(line)
+                return True
+            del ts[0]
+            ts.append(line)
+            return False
+        rr = self._rrpv[s]
+        if line in ts:
+            rr[ts.index(line)] = 0
+            return True
+        while True:
+            if _RRPV_MAX in rr:
+                victim = rr.index(_RRPV_MAX)
+                break
+            for w in range(len(rr)):
+                rr[w] += 1
+        policy = self.config.policy
+        if policy == "srrip":
+            use_brrip = False
+        elif policy == "brrip":
+            use_brrip = True
+        else:
+            r = self._role[s]
+            if r == 1:
+                use_brrip = False
+                if self._psel < _PSEL_MAX:
+                    self._psel += 1
+            elif r == 2:
+                use_brrip = True
+                if self._psel > 0:
+                    self._psel -= 1
+            else:
+                use_brrip = self._psel >= _PSEL_INIT
+        if use_brrip:
+            draw = self._brrip_draws[self._draw_cursor]
+            self._draw_cursor += 1
+            if self._draw_cursor == self._brrip_draws.shape[0]:
+                self._draw_cursor = 0
+            insert = _RRPV_MAX - 1 if draw < _BRRIP_LONG_PROB else _RRPV_MAX
+        else:
+            insert = _RRPV_MAX - 1
+        ts[victim] = line
+        rr[victim] = insert
+        return False
 
     def resident_lines(self) -> np.ndarray:
         """IDs of all currently resident lines (unordered, no invalids)."""
@@ -133,7 +185,7 @@ class SetAssociativeCache:
     # -- bulk simulation -------------------------------------------------------
 
     def simulate(
-        self, lines: np.ndarray, *, scan_interval: int = 0
+        self, lines: np.ndarray, *, scan_interval: int = 0, kernel: str = "auto"
     ) -> "SimulatedAccesses":
         """Run the trace through the cache, mutating its state.
 
@@ -144,8 +196,36 @@ class SetAssociativeCache:
         scan_interval:
             When positive, snapshot resident lines every that many
             accesses (used by the ECS metric).
+        kernel:
+            Dispatch mode: ``"auto"`` (default) picks the vectorized
+            kernel path when it is applicable and likely faster,
+            ``"kernel"`` forces it whenever structurally possible, and
+            ``"reference"`` forces the per-access loop.  The
+            ``REPRO_SIM_KERNEL`` environment variable overrides this
+            argument (escape hatch); both paths are bit-exact.
         """
         lines = np.asarray(lines, dtype=np.int64)
+        mode = _kernels.kernel_mode(kernel)
+        if mode != "reference" and _kernels.kernel_possible(self.config, lines):
+            if mode == "kernel" or _kernels.kernel_profitable(
+                self.config, lines, scan_interval
+            ):
+                res = _kernels.kernel_simulate(self, lines, scan_interval)
+                if res is not None:
+                    hits, raw_snaps = res
+                    return SimulatedAccesses(
+                        hits=hits,
+                        snapshots=[
+                            CacheSnapshot(idx, resident)
+                            for idx, resident in raw_snaps
+                        ],
+                    )
+        return self._simulate_reference(lines, scan_interval)
+
+    def _simulate_reference(
+        self, lines: np.ndarray, scan_interval: int = 0
+    ) -> "SimulatedAccesses":
+        """The original per-access loop — kept as the bit-exact oracle."""
         num_accesses = lines.shape[0]
         hits = np.zeros(num_accesses, dtype=np.uint8)
         snapshots: list[CacheSnapshot] = []

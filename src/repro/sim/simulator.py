@@ -143,16 +143,20 @@ class SimulationResult:
     # -- effective cache size --------------------------------------------------
 
     def effective_cache_size_samples(self) -> np.ndarray:
-        """Per-snapshot percentage of capacity holding random-access data."""
+        """Per-snapshot percentage of capacity holding random-access data.
+
+        Snapshots are classified in one batched pass (see
+        :meth:`AddressSpace.region_counts_batch`) instead of one
+        ``region_counts`` call per snapshot.
+        """
         if not self.snapshots:
             return np.zeros(0)
         capacity = self.config.cache.num_lines
         space = self.trace.space
-        samples = np.empty(len(self.snapshots))
-        for i, snap in enumerate(self.snapshots):
-            counts = space.region_counts(snap.resident_lines)
-            samples[i] = counts[self.random_region] / capacity * 100.0
-        return samples
+        counts = space.region_counts_batch(
+            [snap.resident_lines for snap in self.snapshots]
+        )
+        return counts[:, self.random_region] / capacity * 100.0
 
     def effective_cache_size(self) -> float:
         """Average ECS percentage over all snapshots (Table V)."""
