@@ -28,3 +28,7 @@ class ReorderingError(ReproError):
 
 class ExperimentError(ReproError):
     """An experiment harness was asked to run an unknown or bad config."""
+
+
+class LintError(ReproError):
+    """The static-analysis tooling hit a usage or configuration problem."""

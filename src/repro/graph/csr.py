@@ -40,7 +40,9 @@ class Adjacency:
 
     __slots__ = ("offsets", "targets")
 
-    def __init__(self, offsets: np.ndarray, targets: np.ndarray, *, validate: bool = True):
+    def __init__(
+        self, offsets: np.ndarray, targets: np.ndarray, *, validate: bool = True
+    ) -> None:
         offsets = np.asarray(offsets, dtype=np.int64)
         targets = np.asarray(targets, dtype=np.int64)
         if validate:
@@ -161,7 +163,9 @@ class Adjacency:
         )
 
     def __hash__(self) -> int:  # pragma: no cover - explicit unhashability
-        raise TypeError("Adjacency is not hashable")
+        # TypeError is what the hashing protocol mandates for unhashable
+        # types, so this raise is exempt from the ReproError hierarchy.
+        raise TypeError("Adjacency is not hashable")  # repro-lint: disable=RL004
 
     def __repr__(self) -> str:
         return f"Adjacency(n={self.num_vertices}, m={self.num_edges})"

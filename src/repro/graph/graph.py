@@ -32,7 +32,9 @@ class Graph:
 
     __slots__ = ("out_adj", "in_adj", "name")
 
-    def __init__(self, out_adj: Adjacency, in_adj: Adjacency, *, name: str = ""):
+    def __init__(
+        self, out_adj: Adjacency, in_adj: Adjacency, *, name: str = ""
+    ) -> None:
         if out_adj.num_vertices != in_adj.num_vertices:
             raise GraphFormatError(
                 f"CSR has {out_adj.num_vertices} vertices but CSC has "
@@ -153,7 +155,9 @@ class Graph:
         return self.out_adj == other.out_adj and self.in_adj == other.in_adj
 
     def __hash__(self) -> int:  # pragma: no cover - explicit unhashability
-        raise TypeError("Graph is not hashable")
+        # TypeError is what the hashing protocol mandates for unhashable
+        # types, so this raise is exempt from the ReproError hierarchy.
+        raise TypeError("Graph is not hashable")  # repro-lint: disable=RL004
 
     def __repr__(self) -> str:
         label = f" {self.name!r}" if self.name else ""

@@ -1,0 +1,40 @@
+"""AST-based invariant linter for the simulation stack.
+
+The cache-simulation kernels are bit-exact with their reference loops
+only while a set of cross-cutting contracts hold — explicit numpy
+dtypes, seeded RNG threading, no Python loops over edge/access data in
+hot paths, a single exception hierarchy, and no shared mutable defaults.
+This package machine-checks those contracts:
+
+``python -m repro.lint [paths]``
+
+Rules (see :mod:`repro.lint.rules`): RL001 explicit-dtype, RL002
+seeded-rng, RL003 no-python-edge-loop (warn tier), RL004
+exception-discipline, RL005 no-mutable-default-args.  Configuration
+lives in ``[tool.repro-lint]`` of ``pyproject.toml``; intentional
+violations use per-line ``# repro-lint: disable=RLxxx`` comments or the
+committed baseline file.
+"""
+
+from repro.lint.baseline import Baseline
+from repro.lint.cli import main
+from repro.lint.config import LintConfig, find_root, load_config
+from repro.lint.engine import LintReport, lint_paths, lint_source
+from repro.lint.rules import RULES, Finding, ModuleContext, Rule, Severity, register
+
+__all__ = [
+    "Baseline",
+    "Finding",
+    "LintConfig",
+    "LintReport",
+    "ModuleContext",
+    "RULES",
+    "Rule",
+    "Severity",
+    "find_root",
+    "lint_paths",
+    "lint_source",
+    "load_config",
+    "main",
+    "register",
+]

@@ -1,0 +1,82 @@
+"""Baseline file: accepted findings that should not block CI.
+
+The baseline maps finding *fingerprints* — ``relpath::code::source-line``,
+deliberately line-number-free so unrelated edits don't invalidate it — to
+occurrence counts.  ``python -m repro.lint --write-baseline`` regenerates
+it from the current findings; anything beyond the recorded count (a new
+violation, or a duplicated old one) is reported again.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+from typing import Dict, List, Tuple
+
+from repro.errors import LintError
+from repro.lint.rules.base import Finding
+
+__all__ = ["Baseline"]
+
+_VERSION = 1
+
+
+class Baseline:
+    """Fingerprint -> accepted-occurrence-count store."""
+
+    def __init__(self, entries: "Dict[str, int] | None" = None) -> None:
+        self.entries: Dict[str, int] = dict(entries or {})
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        """Read a baseline file; a missing file is an empty baseline."""
+        if not path.is_file():
+            return cls()
+        try:
+            data = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            raise LintError(f"cannot read baseline {path}: {exc}") from exc
+        if not isinstance(data, dict) or data.get("version") != _VERSION:
+            raise LintError(
+                f"baseline {path} has unsupported format; regenerate with "
+                f"--write-baseline"
+            )
+        entries = data.get("entries", {})
+        if not isinstance(entries, dict) or not all(
+            isinstance(k, str) and isinstance(v, int) for k, v in entries.items()
+        ):
+            raise LintError(f"baseline {path}: entries must map strings to ints")
+        return cls(entries)
+
+    @classmethod
+    def from_findings(cls, findings: List[Finding]) -> "Baseline":
+        counts = Counter(f.fingerprint() for f in findings)
+        return cls(dict(counts))
+
+    def save(self, path: Path) -> None:
+        payload = {
+            "version": _VERSION,
+            "entries": {k: self.entries[k] for k in sorted(self.entries)},
+        }
+        path.write_text(json.dumps(payload, indent=2) + "\n")
+
+    def filter(
+        self, findings: List[Finding]
+    ) -> Tuple[List[Finding], List[Finding]]:
+        """Split findings into (fresh, suppressed-by-baseline).
+
+        The first ``count`` occurrences of each fingerprint (in report
+        order) are suppressed; later duplicates are fresh findings.
+        """
+        budget = Counter(self.entries)
+        fresh: List[Finding] = []
+        suppressed: List[Finding] = []
+        for finding in findings:
+            fp = finding.fingerprint()
+            if budget[fp] > 0:
+                budget[fp] -= 1
+                suppressed.append(finding)
+            else:
+                fresh.append(finding)
+        return fresh, suppressed

@@ -1,0 +1,173 @@
+"""Linting engine: file discovery, parsing, rule dispatch, suppression.
+
+The engine is deliberately free of rule knowledge: it parses each module
+once, builds a :class:`ModuleContext`, runs every enabled rule from the
+registry, then applies the two suppression layers — per-line
+``# repro-lint: disable=RLxxx`` comments and the committed baseline file.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, List, Sequence, Set, Tuple
+
+from repro.errors import LintError
+from repro.lint.baseline import Baseline
+from repro.lint.config import LintConfig
+from repro.lint.rules import (
+    RULES,
+    Finding,
+    ModuleContext,
+    Rule,
+    Severity,
+    collect_import_aliases,
+    resolve_rules,
+)
+
+_ALL_CODES = frozenset(RULES) | {"RL000"}
+
+__all__ = ["LintReport", "lint_paths", "lint_source"]
+
+_DISABLE_RE = re.compile(r"#\s*repro-lint:\s*disable=([A-Za-z0-9_,\s]+)")
+
+
+@dataclass
+class LintReport:
+    """Outcome of one lint run, after all suppression layers."""
+
+    findings: List[Finding] = field(default_factory=list)
+    baselined: List[Finding] = field(default_factory=list)
+    disabled: int = 0  # count suppressed by inline disable comments
+    files_checked: int = 0
+
+    @property
+    def errors(self) -> List[Finding]:
+        return [f for f in self.findings if f.severity is Severity.ERROR]
+
+    @property
+    def warnings(self) -> List[Finding]:
+        return [f for f in self.findings if f.severity is Severity.WARN]
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+
+def lint_paths(
+    paths: Sequence[Path],
+    config: LintConfig,
+    *,
+    baseline: "Baseline | None" = None,
+    select: Iterable[str] = (),
+) -> LintReport:
+    """Lint every ``.py`` file under ``paths`` (files or directories)."""
+    rules = resolve_rules(select)
+    rules = [r for r in rules if config.rule_enabled(r.code)]
+    report = LintReport()
+    raw: List[Finding] = []
+    for path in _discover(paths):
+        relpath = _relpath(path, config.root)
+        try:
+            source = path.read_text()
+        except OSError as exc:
+            raise LintError(f"cannot read {path}: {exc}") from exc
+        file_findings, disabled = _lint_module(source, relpath, config, rules)
+        raw.extend(file_findings)
+        report.disabled += disabled
+        report.files_checked += 1
+    raw.sort(key=lambda f: (f.relpath, f.line, f.col, f.code))
+    if baseline is not None:
+        report.findings, report.baselined = baseline.filter(raw)
+    else:
+        report.findings = raw
+    return report
+
+
+def lint_source(
+    source: str,
+    relpath: str,
+    config: LintConfig,
+    *,
+    select: Iterable[str] = (),
+) -> List[Finding]:
+    """Lint one in-memory module (test and tooling entry point)."""
+    rules = [r for r in resolve_rules(select) if config.rule_enabled(r.code)]
+    findings, _ = _lint_module(source, relpath, config, rules)
+    findings.sort(key=lambda f: (f.line, f.col, f.code))
+    return findings
+
+
+def _lint_module(
+    source: str,
+    relpath: str,
+    config: LintConfig,
+    rules: Sequence[Rule],
+) -> Tuple[List[Finding], int]:
+    lines = source.splitlines()
+    try:
+        tree = ast.parse(source, filename=relpath)
+    except SyntaxError as exc:
+        finding = Finding(
+            code="RL000",
+            severity=Severity.ERROR,
+            relpath=relpath,
+            line=exc.lineno or 1,
+            col=(exc.offset or 1) - 1,
+            message=f"syntax error: {exc.msg}",
+            source_line=(exc.text or "").strip(),
+        )
+        return [finding], 0
+    module = ModuleContext(
+        path=config.root / relpath,
+        relpath=relpath,
+        tree=tree,
+        lines=lines,
+        config=config,
+    )
+    collect_import_aliases(module)
+    findings: List[Finding] = []
+    disabled = 0
+    for rule in rules:
+        for finding in rule.check(module):
+            if finding.code in _disabled_codes(module, finding.line):
+                disabled += 1
+            else:
+                findings.append(finding)
+    return findings, disabled
+
+
+def _disabled_codes(module: ModuleContext, lineno: int) -> Set[str]:
+    """Rule codes disabled on one physical line (``all`` disables every rule)."""
+    match = _DISABLE_RE.search(module.source_line(lineno))
+    if not match:
+        return set()
+    codes = {token.strip() for token in match.group(1).split(",") if token.strip()}
+    if "all" in codes:
+        return set(_ALL_CODES)
+    return codes
+
+
+def _discover(paths: Sequence[Path]) -> List[Path]:
+    files: List[Path] = []
+    seen: Set[Path] = set()
+    for path in paths:
+        if not path.exists():
+            raise LintError(f"no such file or directory: {path}")
+        candidates = sorted(path.rglob("*.py")) if path.is_dir() else [path]
+        for candidate in candidates:
+            resolved = candidate.resolve()
+            if resolved not in seen:
+                seen.add(resolved)
+                files.append(candidate)
+    return files
+
+
+def _relpath(path: Path, root: Path) -> str:
+    resolved = path.resolve()
+    try:
+        return resolved.relative_to(root.resolve()).as_posix()
+    except ValueError:
+        return resolved.as_posix()

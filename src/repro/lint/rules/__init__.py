@@ -1,0 +1,68 @@
+"""Rule registry for the invariant linter.
+
+New rules self-describe via class attributes on :class:`Rule` subclasses
+and are added here with :func:`register`; everything else (severity
+overrides, disable comments, baselining, CLI selection) picks them up
+automatically from the registry.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Type
+
+from repro.errors import LintError
+from repro.lint.rules.base import (
+    Finding,
+    ModuleContext,
+    Rule,
+    Severity,
+    collect_import_aliases,
+)
+from repro.lint.rules.defaults import NoMutableDefaultRule
+from repro.lint.rules.dtype import ExplicitDtypeRule
+from repro.lint.rules.exceptions import ExceptionDisciplineRule
+from repro.lint.rules.loops import NoPythonEdgeLoopRule
+from repro.lint.rules.rng import SeededRngRule
+
+__all__ = [
+    "Finding",
+    "ModuleContext",
+    "Rule",
+    "Severity",
+    "RULES",
+    "register",
+    "resolve_rules",
+    "collect_import_aliases",
+]
+
+RULES: Dict[str, Type[Rule]] = {}
+
+
+def register(rule_cls: Type[Rule]) -> Type[Rule]:
+    """Add a rule class to the registry (usable as a decorator)."""
+    if rule_cls.code in RULES:
+        raise LintError(f"duplicate rule code {rule_cls.code}")
+    RULES[rule_cls.code] = rule_cls
+    return rule_cls
+
+
+for _cls in (
+    ExplicitDtypeRule,
+    SeededRngRule,
+    NoPythonEdgeLoopRule,
+    ExceptionDisciplineRule,
+    NoMutableDefaultRule,
+):
+    register(_cls)
+
+
+def resolve_rules(select: Iterable[str] = ()) -> List[Rule]:
+    """Instantiate the selected rules (all registered rules by default)."""
+    codes = list(select) or sorted(RULES)
+    unknown = [code for code in codes if code not in RULES]
+    if unknown:
+        raise LintError(
+            f"unknown rule code(s) {', '.join(unknown)}; "
+            f"known: {', '.join(sorted(RULES))}"
+        )
+    return [RULES[code]() for code in codes]

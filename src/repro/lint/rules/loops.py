@@ -1,0 +1,81 @@
+"""RL003 no-python-edge-loop: keep Python loops out of hot paths.
+
+The simulation stack's throughput rests on the hot-path modules staying
+vectorized (DESIGN.md §7); an innocuous ``for`` over an edge array turns
+a microsecond kernel step into a multi-second crawl at paper-scale
+traces.  The rule is a heuristic — it flags ``for`` statements whose
+iterable mentions edge/access/trace-shaped identifiers — and is
+warn-tier: the bit-exact reference oracle loop is allowlisted via
+``edge-loop-allow`` and intentional survivors live in the baseline.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Tuple
+
+from repro.lint.rules.base import Finding, ModuleContext, Rule, Severity
+
+__all__ = ["NoPythonEdgeLoopRule"]
+
+#: Lower-cased substrings marking an identifier as edge/access/trace data.
+HOT_IDENTIFIER_MARKERS = ("edge", "access", "trace", "line", "neighbo")
+
+
+class NoPythonEdgeLoopRule(Rule):
+    code = "RL003"
+    name = "no-python-edge-loop"
+    default_severity = Severity.WARN
+
+    def check(self, module: ModuleContext) -> Iterator[Finding]:
+        if module.relpath not in module.config.hot_path_modules:
+            return
+        allow = frozenset(module.config.edge_loop_allow)
+        for node, qualname in _for_loops_with_qualnames(module.tree):
+            if f"{module.relpath}::{qualname}" in allow:
+                continue
+            marker = _hot_identifier(node.iter)
+            if marker is None:
+                continue
+            yield self.finding(
+                module,
+                node,
+                f"Python-level for loop over {marker!r} in a hot-path "
+                f"module; vectorize with NumPy, or allowlist via "
+                f"edge-loop-allow if this is a reference oracle",
+            )
+
+
+def _for_loops_with_qualnames(
+    tree: ast.Module,
+) -> List[Tuple[ast.For, str]]:
+    """Every ``for`` statement paired with its enclosing qualname."""
+    found: List[Tuple[ast.For, str]] = []
+
+    def visit(node: ast.AST, stack: List[str]) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                visit(child, stack + [child.name])
+            elif isinstance(child, ast.ClassDef):
+                visit(child, stack + [child.name])
+            else:
+                if isinstance(child, ast.For):
+                    found.append((child, ".".join(stack) or "<module>"))
+                visit(child, stack)
+
+    visit(tree, [])
+    return found
+
+
+def _hot_identifier(iter_expr: ast.expr) -> "str | None":
+    """First identifier in the iterable matching a hot-data marker."""
+    for node in ast.walk(iter_expr):
+        name = ""
+        if isinstance(node, ast.Name):
+            name = node.id
+        elif isinstance(node, ast.Attribute):
+            name = node.attr
+        lowered = name.lower()
+        if lowered and any(marker in lowered for marker in HOT_IDENTIFIER_MARKERS):
+            return name
+    return None

@@ -68,9 +68,14 @@ reference calls can interleave on the same cache object bit-exactly.
 from __future__ import annotations
 
 import os
-from typing import List, Optional, Tuple
+from typing import TYPE_CHECKING, List, Optional, Tuple
 
 import numpy as np
+
+from repro.errors import SimulationError
+
+if TYPE_CHECKING:  # pragma: no cover - cache.py imports this module
+    from repro.sim.cache import CacheConfig, SetAssociativeCache
 
 __all__ = [
     "kernel_mode",
@@ -114,10 +119,12 @@ def kernel_mode(explicit: str = "auto") -> str:
         return env
     if explicit in _MODES:
         return explicit
-    raise ValueError(f"unknown kernel mode {explicit!r}; expected one of {_MODES}")
+    raise SimulationError(
+        f"unknown kernel mode {explicit!r}; expected one of {_MODES}"
+    )
 
 
-def kernel_possible(config, lines: np.ndarray) -> bool:
+def kernel_possible(config: CacheConfig, lines: np.ndarray) -> bool:
     """Hard requirements: can the kernel replay this call at all?"""
     if config.policy not in ("lru", "srrip", "brrip", "drrip"):
         return False
@@ -131,7 +138,9 @@ def kernel_possible(config, lines: np.ndarray) -> bool:
     return True
 
 
-def kernel_profitable(config, lines: np.ndarray, scan_interval: int) -> bool:
+def kernel_profitable(
+    config: CacheConfig, lines: np.ndarray, scan_interval: int
+) -> bool:
     """Size heuristics: is the kernel path likely to beat the reference?"""
     if lines.shape[0] < _MIN_ACCESSES:
         return False
@@ -152,7 +161,9 @@ def kernel_profitable(config, lines: np.ndarray, scan_interval: int) -> bool:
     return True
 
 
-def kernel_supported(config, lines: np.ndarray, scan_interval: int) -> bool:
+def kernel_supported(
+    config: CacheConfig, lines: np.ndarray, scan_interval: int
+) -> bool:
     """Is the kernel path worthwhile (and valid) for this simulate call?"""
     return kernel_possible(config, lines) and kernel_profitable(
         config, lines, scan_interval
@@ -164,7 +175,7 @@ def kernel_supported(config, lines: np.ndarray, scan_interval: int) -> bool:
 # ---------------------------------------------------------------------------
 
 
-def _state_arrays(cache) -> Tuple[np.ndarray, np.ndarray]:
+def _state_arrays(cache: SetAssociativeCache) -> Tuple[np.ndarray, np.ndarray]:
     """Cache list state -> (tags, rrpv) int64/int8 arrays, (num_sets, ways).
 
     Tags hold *compressed* values ``line // num_sets`` (-1 for invalid).
@@ -178,7 +189,9 @@ def _state_arrays(cache) -> Tuple[np.ndarray, np.ndarray]:
     return comp, rrpv
 
 
-def _write_state(cache, tags: np.ndarray, rrpv: Optional[np.ndarray]) -> None:
+def _write_state(
+    cache: SetAssociativeCache, tags: np.ndarray, rrpv: Optional[np.ndarray]
+) -> None:
     num_sets = cache.config.num_sets
     sets = np.arange(num_sets, dtype=np.int64)[:, None]
     lines = np.where(tags >= 0, tags.astype(np.int64) * num_sets + sets, -1)
@@ -208,6 +221,30 @@ class _Streams:
         "num_streams", "sm_set", "sm_chunk", "sm_len", "col_of", "colperm",
         "lens_desc", "steps", "pos_flat", "tag_dtype", "ded_tags",
     )
+
+    n: int
+    nd: int
+    order: np.ndarray
+    keep: np.ndarray
+    didx: np.ndarray
+    run2: np.ndarray
+    head_prog: np.ndarray
+    ded_sets: np.ndarray
+    counts_d: np.ndarray
+    chunk_len: int
+    nchunks: np.ndarray
+    stream_base: np.ndarray
+    num_streams: int
+    sm_set: np.ndarray
+    sm_chunk: np.ndarray
+    sm_len: np.ndarray
+    col_of: np.ndarray
+    colperm: np.ndarray
+    lens_desc: np.ndarray
+    steps: List[int]
+    pos_flat: np.ndarray
+    tag_dtype: type
+    ded_tags: np.ndarray
 
 
 def _build_streams(
@@ -300,7 +337,7 @@ def _build_streams(
     colperm = np.argsort(-sm_len, kind="stable")
     st.colperm = colperm
     col_of = np.empty(T, dtype=np.int64)
-    col_of[colperm] = np.arange(T)
+    col_of[colperm] = np.arange(T, dtype=np.int64)
     st.col_of = col_of
     lens_desc = sm_len[colperm]
     st.lens_desc = lens_desc
@@ -318,7 +355,7 @@ def _build_streams(
     return st
 
 
-def _pad_matrix(st: _Streams, values: np.ndarray, fill, dtype) -> np.ndarray:
+def _pad_matrix(st: _Streams, values: np.ndarray, fill: int, dtype: type) -> np.ndarray:
     M = np.full((st.chunk_len, st.num_streams), fill, dtype=dtype)
     M.ravel()[st.pos_flat] = values
     return M
@@ -427,7 +464,13 @@ def _lru_entries(st: _Streams, P: np.ndarray, state_tags: np.ndarray,
 # ---------------------------------------------------------------------------
 
 
-def _lockstep_lru(P, steps, tagsT, negT, H):
+def _lockstep_lru(
+    P: np.ndarray,
+    steps: List[int],
+    tagsT: np.ndarray,
+    negT: np.ndarray,
+    H: np.ndarray,
+) -> None:
     """One exact LRU pass over all columns. State arrays are (ways, S).
 
     ``negT`` holds *negated* last-use times, so one argmax yields the
@@ -463,7 +506,14 @@ def _lockstep_lru(P, steps, tagsT, negT, H):
         nflat[way] = -k
 
 
-def _lockstep_rrip(P, I, steps, tagsT, rrpvT, H):
+def _lockstep_rrip(
+    P: np.ndarray,
+    I: np.ndarray,
+    steps: List[int],
+    tagsT: np.ndarray,
+    rrpvT: np.ndarray,
+    H: np.ndarray,
+) -> None:
     """One RRIP-family pass. ``I`` carries each access's insertion RRPV."""
     ways, S = tagsT.shape
     ar = np.arange(S, dtype=np.int64)
@@ -551,8 +601,14 @@ def _saturating_walk(p0: int, deltas: np.ndarray) -> np.ndarray:
     return out
 
 
-def _insert_values(policy: str, miss: np.ndarray, role_acc, psel0: int,
-                   cursor0: int, draws: np.ndarray):
+def _insert_values(
+    policy: str,
+    miss: np.ndarray,
+    role_acc: Optional[np.ndarray],
+    psel0: int,
+    cursor0: int,
+    draws: np.ndarray,
+) -> Tuple[np.ndarray, np.ndarray, int, int]:
     """Insertion RRPVs for the miss positions of a program-order trace.
 
     Returns ``(miss_pos, ins_at_miss, psel_final, n_draws)``.
@@ -560,7 +616,7 @@ def _insert_values(policy: str, miss: np.ndarray, role_acc, psel0: int,
     miss_pos = np.flatnonzero(miss)
     nm = miss_pos.shape[0]
     if policy == "srrip":
-        return miss_pos, np.full(nm, _RRPV_MAX - 1, np.int8), psel0, 0
+        return miss_pos, np.full(nm, _RRPV_MAX - 1, dtype=np.int8), psel0, 0
     if policy == "brrip":
         use_b = np.ones(nm, dtype=bool)
         psel_final = psel0
@@ -572,7 +628,7 @@ def _insert_values(policy: str, miss: np.ndarray, role_acc, psel0: int,
         traj = _saturating_walk(psel0, deltas)
         psel_final = int(traj[-1]) if traj.shape[0] else psel0
         # Follower miss i reads PSEL after every leader miss before it.
-        before = np.searchsorted(e_idx, np.arange(nm), side="left")
+        before = np.searchsorted(e_idx, np.arange(nm, dtype=np.int64), side="left")
         traj0 = np.concatenate(([psel0], traj))
         psel_at = traj0[before]
         use_b = np.where(leader, roles == 2, psel_at >= _PSEL_INIT)
@@ -580,7 +636,7 @@ def _insert_values(policy: str, miss: np.ndarray, role_acc, psel0: int,
     ranks = np.cumsum(use_b) - 1  # draw index per consuming miss
     nb = int(use_b.sum())
     dlen = draws.shape[0]
-    ins = np.full(nm, _RRPV_MAX - 1, np.int8)
+    ins = np.full(nm, _RRPV_MAX - 1, dtype=np.int8)
     took = np.flatnonzero(use_b)
     dvals = draws[(cursor0 + ranks[took]) % dlen]
     ins[took] = np.where(dvals < _BRRIP_LONG_PROB, _RRPV_MAX - 1, _RRPV_MAX)
@@ -601,7 +657,9 @@ def _hits_program_order(st: _Streams, H: np.ndarray) -> np.ndarray:
     return hits
 
 
-def _segment_lru(st: _Streams, state_tags: np.ndarray, ways: int):
+def _segment_lru(
+    st: _Streams, state_tags: np.ndarray, ways: int
+) -> Tuple[np.ndarray, np.ndarray]:
     """Single-pass exact LRU replay of one segment."""
     T = st.num_streams
     CL = st.chunk_len
@@ -629,9 +687,17 @@ def _segment_lru(st: _Streams, state_tags: np.ndarray, ways: int):
     return _hits_program_order(st, H), out_tags
 
 
-def _segment_rrip(st: _Streams, policy: str, state_tags: np.ndarray,
-                  state_rrpv: np.ndarray, ways: int, psel0: int, cursor0: int,
-                  draws: np.ndarray, role_acc: Optional[np.ndarray]):
+def _segment_rrip(
+    st: _Streams,
+    policy: str,
+    state_tags: np.ndarray,
+    state_rrpv: np.ndarray,
+    ways: int,
+    psel0: int,
+    cursor0: int,
+    draws: np.ndarray,
+    role_acc: Optional[np.ndarray],
+) -> Optional[Tuple[np.ndarray, np.ndarray, np.ndarray, int, int]]:
     """Fixed-point replay of one segment for srrip/brrip/drrip.
 
     Returns ``(hits, out_tags, out_rrpv, psel, cursor)`` or ``None`` when
@@ -736,7 +802,7 @@ def _segment_rrip(st: _Streams, policy: str, state_tags: np.ndarray,
             # the drawn insertion (the duplicate hit promotes it).
             ins_ded[st.run2] = 0
             if ins_ded_prev is None:
-                chg = np.arange(st.nd)
+                chg = np.arange(st.nd, dtype=np.int64)
             else:
                 chg = np.flatnonzero(ins_ded != ins_ded_prev)
             if chg.shape[0]:
@@ -774,7 +840,9 @@ def _segment_rrip(st: _Streams, policy: str, state_tags: np.ndarray,
 # ---------------------------------------------------------------------------
 
 
-def kernel_simulate(cache, lines: np.ndarray, scan_interval: int):
+def kernel_simulate(
+    cache: SetAssociativeCache, lines: np.ndarray, scan_interval: int
+) -> Optional[Tuple[np.ndarray, List[Tuple[int, np.ndarray]]]]:
     """Kernel-path replacement for ``SetAssociativeCache.simulate``.
 
     Returns ``(hits, snapshots)`` and mutates the cache state exactly as
@@ -796,7 +864,7 @@ def kernel_simulate(cache, lines: np.ndarray, scan_interval: int):
         role_acc = None
 
     hits = np.empty(n, dtype=np.uint8)
-    snapshots = []
+    snapshots: List[Tuple[int, np.ndarray]] = []
 
     if scan_interval:
         seg_edges = list(range(0, n, scan_interval)) + [n]

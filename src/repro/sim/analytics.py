@@ -62,7 +62,7 @@ def sssp_distances(
     n = _check_source(graph, source)
     src, dst = graph.edges()
     if weights is None:
-        weights = np.ones(src.shape[0])
+        weights = np.ones(src.shape[0], dtype=np.float64)
     else:
         weights = np.asarray(weights, dtype=np.float64)
         if weights.shape != src.shape:
@@ -74,7 +74,7 @@ def sssp_distances(
     if max_rounds is None:
         max_rounds = n
 
-    distances = np.full(n, np.inf)
+    distances = np.full(n, np.inf, dtype=np.float64)
     distances[source] = 0.0
     for _ in range(max_rounds):
         candidate = distances[src] + weights

@@ -100,7 +100,7 @@ class CacheSnapshot:
 class SetAssociativeCache:
     """Stateful simulated cache; feed it line IDs, read back hit bits."""
 
-    def __init__(self, config: CacheConfig):
+    def __init__(self, config: CacheConfig) -> None:
         self.config = config
         num_sets, ways = config.num_sets, config.ways
         self._tags: list[list[int]] = [[-1] * ways for _ in range(num_sets)]

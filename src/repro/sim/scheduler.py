@@ -66,10 +66,10 @@ def chunk_costs(
         lo, hi = int(boundaries[p]), int(boundaries[p + 1])
         part = per_vertex_cost[lo:hi]
         if part.size == 0:
-            costs.append(np.zeros(0))
+            costs.append(np.zeros(0, dtype=np.float64))
             continue
         num_chunks = (part.size + chunk_size - 1) // chunk_size
-        padded = np.zeros(num_chunks * chunk_size)
+        padded = np.zeros(num_chunks * chunk_size, dtype=np.float64)
         padded[: part.size] = part
         costs.append(padded.reshape(num_chunks, chunk_size).sum(axis=1))
     return costs
@@ -108,7 +108,7 @@ def cost_balanced_chunks(
                 current = 0.0
         if current > 0.0 or not chunks:
             chunks.append(current)
-        costs.append(np.asarray(chunks))
+        costs.append(np.asarray(chunks, dtype=np.float64))
     return costs
 
 
@@ -127,9 +127,9 @@ def simulate_work_stealing(
         raise SimulationError("need at least one thread")
     queues: list[list[float]] = [list(map(float, chunks)) for chunks in thread_chunks]
     remaining = [sum(q) for q in queues]
-    current = np.zeros(num_threads)
-    busy = np.zeros(num_threads)
-    finish = np.full(num_threads, -1.0)
+    current = np.zeros(num_threads, dtype=np.float64)
+    busy = np.zeros(num_threads, dtype=np.float64)
+    finish = np.full(num_threads, -1.0, dtype=np.float64)
     active = set(range(num_threads))
     steals = 0
 

@@ -13,6 +13,7 @@ idle-time estimation.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Any
 
 import numpy as np
 
@@ -150,7 +151,7 @@ class SimulationResult:
         ``region_counts`` call per snapshot.
         """
         if not self.snapshots:
-            return np.zeros(0)
+            return np.zeros(0, dtype=np.float64)
         capacity = self.config.cache.num_lines
         space = self.trace.space
         counts = space.region_counts_batch(
@@ -206,7 +207,7 @@ class SimulationResult:
 
 
 def simulate_spmv(
-    graph: Graph, config: SimulationConfig | None = None, **scaled_kwargs
+    graph: Graph, config: SimulationConfig | None = None, **scaled_kwargs: Any
 ) -> SimulationResult:
     """Simulate one parallel SpMV traversal of ``graph``.
 

@@ -66,11 +66,11 @@ def pagerank(
     """
     n = graph.num_vertices
     if n == 0:
-        return np.zeros(0)
+        return np.zeros(0, dtype=np.float64)
     out_deg = graph.out_degrees().astype(np.float64)
     dangling = out_deg == 0
     safe_deg = np.where(dangling, 1.0, out_deg)
-    rank = np.full(n, 1.0 / n)
+    rank = np.full(n, 1.0 / n, dtype=np.float64)
     for _ in range(iterations):
         contrib = rank / safe_deg
         contrib[dangling] = 0.0

@@ -133,7 +133,13 @@ def spmv_trace(
     parts_proc: list[np.ndarray] = []
     parts_pos: list[np.ndarray] = []
 
-    def _add(lines, kind, read_v, proc_v, pos):
+    def _add(
+        lines: np.ndarray,
+        kind: int,
+        read_v: np.ndarray,
+        proc_v: np.ndarray,
+        pos: np.ndarray,
+    ) -> None:
         parts_lines.append(lines)
         parts_kinds.append(np.full(lines.shape[0], kind, dtype=np.uint8))
         parts_read.append(read_v)

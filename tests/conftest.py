@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+from pathlib import Path
+
 import numpy as np
 import pytest
 
@@ -12,6 +14,12 @@ from repro.generate import (
     web_graph,
 )
 from repro.graph import Graph, build_graph
+
+
+@pytest.fixture
+def repo_root() -> Path:
+    """Repository root (the directory holding pyproject.toml)."""
+    return Path(__file__).resolve().parents[1]
 
 
 @pytest.fixture

@@ -13,6 +13,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.errors import SimulationError
 from repro.sim import CacheConfig, SetAssociativeCache, kernel_mode, kernel_supported
 from repro.sim._kernels import MODE_ENV
 
@@ -52,7 +53,7 @@ class TestDispatch:
         monkeypatch.delenv(MODE_ENV, raising=False)
         assert kernel_mode("auto") == "auto"
         assert kernel_mode("reference") == "reference"
-        with pytest.raises(ValueError):
+        with pytest.raises(SimulationError):
             kernel_mode("vectorised")
 
     def test_env_escape_hatch(self, monkeypatch):
