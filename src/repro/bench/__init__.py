@@ -5,6 +5,7 @@ from repro.bench.harness import (
     ExperimentReport,
     experiment_ids,
     run_experiment,
+    run_experiments,
 )
 from repro.bench.workloads import (
     SIM_DATASETS,
@@ -20,6 +21,7 @@ __all__ = [
     "ExperimentReport",
     "experiment_ids",
     "run_experiment",
+    "run_experiments",
     "SIM_DATASETS",
     "SOCIAL_DATASETS",
     "STUDIED_ALGORITHMS",

@@ -14,7 +14,6 @@ from repro.core.report import format_table
 from repro.errors import ReorderingError
 from repro.reorder.edr import EDRRestricted, efficacy_degree_range
 from repro.reorder.rabbit import RabbitOrder
-from repro.sim.simulator import SimulationConfig, simulate_spmv
 
 from repro.bench.harness import ExperimentReport
 from repro.bench.workloads import SOCIAL_DATASETS, WEB_DATASETS, Workloads
@@ -27,15 +26,17 @@ def run(workloads: Workloads) -> ExperimentReport:
     rows = []
     metrics: dict[str, dict[str, float]] = {}
     for dataset in _DATASETS:
-        graph = workloads.graph(dataset)
-        config = SimulationConfig.scaled_for(graph)
-
         full = workloads.reordering(dataset, "rabbit")
-        full_sim = simulate_spmv(full.apply(graph), config)
+        full_sim = workloads.simulation(dataset, "rabbit", with_scans=False)
 
         lo, hi = _efficacy_range(workloads, dataset)
-        restricted = EDRRestricted(RabbitOrder(), lo, hi)(graph)
-        restricted_sim = simulate_spmv(restricted.apply(graph), config)
+        edr_factory = lambda lo=lo, hi=hi: EDRRestricted(RabbitOrder(), lo, hi)  # noqa: E731
+        restricted = workloads.reordering(
+            dataset, "edr+rabbit", factory=edr_factory, lo=lo, hi=hi
+        )
+        restricted_sim = workloads.simulation(
+            dataset, "edr+rabbit", with_scans=False, factory=edr_factory, lo=lo, hi=hi
+        )
 
         metrics[dataset] = {
             "full_prep": full.preprocessing_seconds,

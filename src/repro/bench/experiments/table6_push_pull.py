@@ -14,7 +14,6 @@ traversal (their out-hubs are the stronger ones).
 from __future__ import annotations
 
 from repro.core.report import format_table
-from repro.sim.simulator import SimulationConfig, simulate_spmv
 
 from repro.bench.harness import ExperimentReport
 from repro.bench.workloads import (
@@ -29,10 +28,9 @@ def run(workloads: Workloads) -> ExperimentReport:
     rows = []
     misses: dict[tuple[str, str], int] = {}
     for dataset in SIM_DATASETS:
-        graph = workloads.graph(dataset)
         csc = workloads.simulation(dataset, "identity")
-        config = SimulationConfig.scaled_for(graph)
-        csr = simulate_spmv(graph.reversed(), config)
+        # A CSR read traversal of G is a pull traversal of reversed(G).
+        csr = workloads.simulation(dataset, "identity", reverse=True, with_scans=False)
         misses[(dataset, "csc")] = csc.l3_misses
         misses[(dataset, "csr")] = csr.l3_misses
         rows.append(

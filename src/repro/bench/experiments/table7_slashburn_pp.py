@@ -9,8 +9,6 @@ time, traversal time, and L3 misses on its social datasets.
 from __future__ import annotations
 
 from repro.core.report import format_table
-from repro.reorder.slashburn import SlashBurn, SlashBurnPP
-from repro.sim.simulator import SimulationConfig, simulate_spmv
 
 from repro.bench.harness import ExperimentReport
 from repro.bench.workloads import SOCIAL_DATASETS, WEB_DATASETS, Workloads
@@ -22,11 +20,9 @@ def run(workloads: Workloads) -> ExperimentReport:
     rows = []
     metrics: dict[tuple[str, str], dict[str, float]] = {}
     for dataset in _DATASETS:
-        graph = workloads.graph(dataset)
-        config = SimulationConfig.scaled_for(graph)
-        for label, algorithm in (("sb", SlashBurn()), ("sb++", SlashBurnPP())):
-            result = algorithm(graph)
-            sim = simulate_spmv(result.apply(graph), config)
+        for label, algorithm in (("sb", "slashburn"), ("sb++", "slashburn++")):
+            result = workloads.reordering(dataset, algorithm)
+            sim = workloads.simulation(dataset, algorithm, with_scans=False)
             metrics[(dataset, label)] = {
                 "prep": result.preprocessing_seconds,
                 "time": sim.traversal_time_ms(),

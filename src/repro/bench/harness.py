@@ -9,10 +9,13 @@ drivers, the examples and the CLI-style ``python -m``-ish entry points.
 from __future__ import annotations
 
 import importlib
+import time
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, field
 
 from repro.errors import ExperimentError
+from repro.store.manifest import environment_snapshot
+from repro.store.store import ArtifactStore
 from repro.bench.workloads import Workloads, workloads as default_workloads
 
 __all__ = [
@@ -31,7 +34,9 @@ class ExperimentReport:
     ``data`` is experiment-specific (rows, series, matrices) so tests
     and downstream tooling can assert on values instead of re-parsing
     the rendered text.  ``shape_checks`` maps each paper claim the
-    experiment verifies to a boolean outcome.
+    experiment verifies to a boolean outcome.  ``duration_s`` and
+    ``environment`` are provenance the harness fills in — the same
+    schema store manifests use (:func:`repro.store.manifest.environment_snapshot`).
     """
 
     experiment_id: str
@@ -39,6 +44,8 @@ class ExperimentReport:
     text: str
     data: dict = field(default_factory=dict)
     shape_checks: dict[str, bool] = field(default_factory=dict)
+    duration_s: float = 0.0
+    environment: dict = field(default_factory=dict)
 
     @property
     def all_shapes_hold(self) -> bool:
@@ -89,16 +96,35 @@ def run_experiment(
     module = importlib.import_module(EXPERIMENTS[experiment_id])
     if workloads is None:
         workloads = default_workloads
+    start = time.perf_counter()
     report = module.run(workloads)
     if not isinstance(report, ExperimentReport):
         raise ExperimentError(
             f"experiment {experiment_id!r} returned {type(report).__name__}, "
             "expected ExperimentReport"
         )
+    report.duration_s = time.perf_counter() - start
+    if not report.environment:
+        report.environment = environment_snapshot()
     return report
 
 
 _EXECUTORS = ("serial", "thread", "process")
+
+
+def _run_in_worker(
+    experiment_id: str, store_root: "str | None", refresh: bool
+) -> ExperimentReport:
+    """Process-pool entry point: rebuild a (store-backed) cache and run.
+
+    Each worker re-derives its workloads, but with a store root the
+    expensive stages come back from disk — so a process fan-out shares
+    work through the artifact store instead of recomputing per worker.
+    """
+    workloads = None
+    if store_root is not None:
+        workloads = Workloads(store=ArtifactStore(store_root), refresh=refresh)
+    return run_experiment(experiment_id, workloads)
 
 
 def run_experiments(
@@ -107,6 +133,8 @@ def run_experiments(
     *,
     executor: str = "serial",
     max_workers: int | None = None,
+    store: ArtifactStore | None = None,
+    refresh: bool = False,
 ) -> "dict[str, ExperimentReport]":
     """Run several experiments, optionally fanned out across workers.
 
@@ -123,6 +151,13 @@ def run_experiments(
         available — NumPy releases the GIL for large array ops);
         ``"process"`` uses a ``ProcessPoolExecutor`` for full isolation
         at the cost of re-deriving workloads per worker.
+    store:
+        Attach an artifact store so every stage is memoized on disk.
+        With the process executor the store *is* the sharing mechanism:
+        workers pull stages other workers (or earlier runs) computed.
+        Mutually exclusive with an explicit ``workloads``.
+    refresh:
+        Recompute every stage and overwrite its stored artifact.
 
     Returns reports keyed by experiment ID, in the order requested.
     Unknown IDs raise before anything runs.
@@ -131,6 +166,10 @@ def run_experiments(
         raise ExperimentError(
             f"unknown executor {executor!r}; expected one of {_EXECUTORS}"
         )
+    if store is not None and workloads is not None:
+        raise ExperimentError(
+            "pass either a workloads cache or a store (which builds one), not both"
+        )
     if ids is None:
         ids = experiment_ids()
     unknown = [i for i in ids if i not in EXPERIMENTS]
@@ -138,22 +177,29 @@ def run_experiments(
         raise ExperimentError(
             f"unknown experiments {unknown!r}; available: {experiment_ids()}"
         )
+    if executor in ("serial", "thread") and workloads is None and store is not None:
+        workloads = Workloads(store=store, refresh=refresh)
     if executor == "serial":
         return {i: run_experiment(i, workloads) for i in ids}
     if executor == "process":
-        if workloads is not None:
+        if workloads is not None and store is None:
             raise ExperimentError(
                 "a shared workloads cache cannot cross process boundaries; "
-                "use executor='serial' or 'thread' with custom workloads"
+                "use executor='serial' or 'thread' with custom workloads, "
+                "or pass a store for disk-level sharing"
             )
-        pool_cls = ProcessPoolExecutor
-        jobs = {i: (i, None) for i in ids}
-    else:
-        pool_cls = ThreadPoolExecutor
-        jobs = {i: (i, workloads) for i in ids}
-    results: "dict[str, ExperimentReport]" = {}
-    with pool_cls(max_workers=max_workers) as pool:
-        futures = {i: pool.submit(run_experiment, *args) for i, args in jobs.items()}
+        store_root = str(store.root) if store is not None else None
+        results: "dict[str, ExperimentReport]" = {}
+        with ProcessPoolExecutor(max_workers=max_workers) as pool:
+            futures = {
+                i: pool.submit(_run_in_worker, i, store_root, refresh) for i in ids
+            }
+            for i in ids:
+                results[i] = futures[i].result()
+        return results
+    results = {}
+    with ThreadPoolExecutor(max_workers=max_workers) as pool:
+        thread_futures = {i: pool.submit(run_experiment, i, workloads) for i in ids}
         for i in ids:
-            results[i] = futures[i].result()
+            results[i] = thread_futures[i].result()
     return results

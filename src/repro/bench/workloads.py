@@ -2,19 +2,30 @@
 
 Every experiment draws its graphs, reorderings and simulations from
 here, so repeated benchmark invocations of the same (dataset, RA,
-config) combination are computed once per process.  Workload sizes
-scale with ``REPRO_SCALE`` (see :mod:`repro.generate.datasets`).
+config) combination are computed once per process.  When a
+:class:`~repro.store.store.ArtifactStore` is attached, each stage is
+additionally memoized *on disk* through :func:`repro.store.memo.cached_stage`:
+the expensive upstream stages (dataset build -> reorder -> rebuild ->
+cache simulation) are computed once ever per (parameters, code version)
+and every later run — in this process or the next — loads them back
+verified from the store.  Workload sizes scale with ``REPRO_SCALE``
+(see :mod:`repro.generate.datasets`), which participates in every
+content key.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from typing import Callable, Optional
 
 from repro.errors import ExperimentError
-from repro.generate.datasets import DATASETS, load_dataset
+from repro.generate.datasets import DATASETS, load_dataset, scale_factor
 from repro.graph.graph import Graph
 from repro.reorder import ReorderResult, get_algorithm
 from repro.sim.simulator import SimulationConfig, SimulationResult, simulate_spmv
+from repro.store.manifest import RunManifest
+from repro.store.memo import cached_stage
+from repro.store.serializers import StoredSimulation
+from repro.store.store import ArtifactStore
 
 __all__ = [
     "SOCIAL_DATASETS",
@@ -36,55 +47,223 @@ SIM_DATASETS = SOCIAL_DATASETS + WEB_DATASETS
 STUDIED_ALGORITHMS = ("identity", "slashburn", "gorder", "rabbit")
 
 
-@dataclass(frozen=True)
-class _SimKey:
-    dataset: str
-    algorithm: str
-    direction: str
-    with_scans: bool
+def _params_key(params: dict) -> tuple:
+    """Hashable in-memory key component for algorithm kwargs."""
+    return tuple(sorted(params.items()))
+
+
+# -- store-backed pipeline stages -------------------------------------------
+#
+# Module-level functions so the `cached_stage` decorator key derivation
+# stays independent of any Workloads instance; the instance threads its
+# store/refresh/manifest through the reserved keyword arguments.
+
+@cached_stage(
+    "graph",
+    code=("repro.generate", "repro.graph"),
+    key=lambda dataset: {"dataset": dataset, "scale": scale_factor()},
+)
+def _graph_stage(dataset: str) -> Graph:
+    return load_dataset(dataset)
+
+
+@cached_stage(
+    "reordering",
+    code=("repro.generate", "repro.graph", "repro.reorder"),
+    key=lambda graph, dataset, algorithm, track_memory, params, factory: {
+        "dataset": dataset,
+        "scale": scale_factor(),
+        "algorithm": algorithm,
+        "track_memory": track_memory,
+        "params": params,
+    },
+)
+def _reordering_stage(
+    graph: Graph,
+    dataset: str,
+    algorithm: str,
+    track_memory: bool,
+    params: dict,
+    factory: "Optional[Callable[[], object]]",
+) -> ReorderResult:
+    instance = factory() if factory is not None else get_algorithm(algorithm, **params)
+    return instance(graph, track_memory=track_memory)  # type: ignore[operator]
+
+
+@cached_stage(
+    "reordered-graph",
+    code=("repro.generate", "repro.graph", "repro.reorder"),
+    key=lambda graph, result, dataset, algorithm, params: {
+        "dataset": dataset,
+        "scale": scale_factor(),
+        "algorithm": algorithm,
+        "params": params,
+    },
+)
+def _reordered_graph_stage(
+    graph: Graph,
+    result: ReorderResult,
+    dataset: str,
+    algorithm: str,
+    params: dict,
+) -> Graph:
+    return result.apply(graph)
+
+
+@cached_stage(
+    "simulation",
+    code=("repro.generate", "repro.graph", "repro.reorder", "repro.sim"),
+    key=lambda graph, config, dataset, algorithm, params, direction, with_scans, reverse: {
+        "dataset": dataset,
+        "scale": scale_factor(),
+        "algorithm": algorithm,
+        "params": params,
+        "direction": direction,
+        "with_scans": with_scans,
+        "reverse": reverse,
+    },
+    encode=StoredSimulation.from_result,
+    decode=lambda stored, graph, config, *rest: stored.to_result(graph, config),
+)
+def _simulation_stage(
+    graph: Graph,
+    config: SimulationConfig,
+    dataset: str,
+    algorithm: str,
+    params: dict,
+    direction: str,
+    with_scans: bool,
+    reverse: bool,
+) -> SimulationResult:
+    return simulate_spmv(graph, config)
+
+
+def _scan_config(graph: Graph, direction: str) -> SimulationConfig:
+    """The ECS-sampling config the simulation-heavy experiments use."""
+    config = SimulationConfig.scaled_for(graph, direction=direction)
+    approx_len = graph.num_edges + graph.num_vertices // 4
+    return SimulationConfig(
+        cache=config.cache,
+        tlb=config.tlb,
+        num_threads=config.num_threads,
+        interleave_interval=config.interleave_interval,
+        scan_interval=max(1, approx_len // 64),
+        direction=config.direction,
+        promote_sequential=config.promote_sequential,
+        timing=config.timing,
+    )
 
 
 class Workloads:
-    """Process-wide cache of graphs, reorderings and simulations."""
+    """Process-wide cache of graphs, reorderings and simulations.
 
-    def __init__(self) -> None:
+    ``store`` attaches a content-addressed on-disk layer underneath the
+    in-memory dictionaries; ``refresh=True`` recomputes every stage and
+    overwrites its stored artifact.  ``manifest`` (created automatically)
+    records one entry per stage call — hit or computed, with durations —
+    and :attr:`stats` aggregates it for cache-behavior assertions.
+    """
+
+    def __init__(
+        self,
+        store: "ArtifactStore | None" = None,
+        *,
+        refresh: bool = False,
+        manifest: "RunManifest | None" = None,
+    ) -> None:
+        self._store = store
+        self._refresh = refresh
+        self.manifest = manifest if manifest is not None else RunManifest.start()
         self._graphs: dict[str, Graph] = {}
-        self._reorderings: dict[tuple[str, str, bool], ReorderResult] = {}
-        self._reordered_graphs: dict[tuple[str, str], Graph] = {}
-        self._simulations: dict[_SimKey, SimulationResult] = {}
+        self._reorderings: dict[tuple, ReorderResult] = {}
+        self._reordered_graphs: dict[tuple, Graph] = {}
+        self._simulations: dict[tuple, SimulationResult] = {}
+
+    @property
+    def store(self) -> "ArtifactStore | None":
+        return self._store
+
+    @property
+    def stats(self) -> dict:
+        """Per-stage ``{"hits": n, "computed": n}`` from the manifest."""
+        return self.manifest.counts()
+
+    def _stage_kwargs(self) -> dict:
+        return {
+            "store": self._store,
+            "refresh": self._refresh,
+            "manifest": self.manifest,
+        }
 
     def graph(self, dataset: str) -> Graph:
-        """The named dataset analogue (generated once)."""
+        """The named dataset analogue (generated once, store-backed)."""
+        if dataset not in DATASETS:
+            raise ExperimentError(
+                f"unknown dataset {dataset!r}; available: {sorted(DATASETS)}"
+            )
         if dataset not in self._graphs:
-            self._graphs[dataset] = load_dataset(dataset)
+            self._graphs[dataset] = _graph_stage(dataset, **self._stage_kwargs())
         return self._graphs[dataset]
 
     def reordering(
-        self, dataset: str, algorithm: str, *, track_memory: bool = False, **kwargs
+        self,
+        dataset: str,
+        algorithm: str,
+        *,
+        track_memory: bool = False,
+        factory: "Callable[[], object] | None" = None,
+        **kwargs,
     ) -> ReorderResult:
         """RA result on the dataset.
+
+        ``kwargs`` parameterize the algorithm and join the memo key, so
+        variants (a custom SlashBurn ``k``, an EDR window) cache
+        independently.  ``factory`` builds a non-registry algorithm
+        instance; the ``algorithm`` name + kwargs still form the key, so
+        callers must give variant factories distinct names.
 
         ``track_memory=True`` wraps the run in tracemalloc (an order of
         magnitude slower), so only the Table II experiment requests it —
         and reads the preprocessing *time* from the untracked run.
         """
-        key = (dataset, algorithm, track_memory)
+        key = (dataset, algorithm, track_memory, _params_key(kwargs))
         if key not in self._reorderings:
-            graph = self.graph(dataset)
-            self._reorderings[key] = get_algorithm(algorithm, **kwargs)(
-                graph, track_memory=track_memory
+            self._reorderings[key] = _reordering_stage(
+                self.graph(dataset),
+                dataset,
+                algorithm,
+                track_memory,
+                dict(kwargs),
+                factory,
+                **self._stage_kwargs(),
             )
         return self._reorderings[key]
 
-    def reordered_graph(self, dataset: str, algorithm: str) -> Graph:
+    def reordered_graph(
+        self,
+        dataset: str,
+        algorithm: str,
+        *,
+        factory: "Callable[[], object] | None" = None,
+        **kwargs,
+    ) -> Graph:
         """The dataset rebuilt in the RA's new ID space."""
-        key = (dataset, algorithm)
+        key = (dataset, algorithm, _params_key(kwargs))
         if key not in self._reordered_graphs:
             if algorithm == "identity":
                 self._reordered_graphs[key] = self.graph(dataset)
             else:
-                result = self.reordering(dataset, algorithm)
-                self._reordered_graphs[key] = result.apply(self.graph(dataset))
+                result = self.reordering(
+                    dataset, algorithm, factory=factory, **kwargs
+                )
+                self._reordered_graphs[key] = _reordered_graph_stage(
+                    self.graph(dataset),
+                    result,
+                    dataset,
+                    algorithm,
+                    dict(kwargs),
+                    **self._stage_kwargs(),
+                )
         return self._reordered_graphs[key]
 
     def simulation(
@@ -94,25 +273,38 @@ class Workloads:
         *,
         direction: str = "pull",
         with_scans: bool = True,
+        reverse: bool = False,
+        factory: "Callable[[], object] | None" = None,
+        **kwargs,
     ) -> SimulationResult:
-        """Cached SpMV cache simulation of (dataset, RA, direction)."""
-        key = _SimKey(dataset, algorithm, direction, with_scans)
+        """Cached SpMV cache simulation of (dataset, RA, direction).
+
+        ``reverse=True`` simulates the reversed graph (a CSR read
+        traversal — Table VI's comparison); ``with_scans`` adds the
+        periodic resident-set snapshots the ECS metric needs.
+        """
+        key = (dataset, algorithm, direction, with_scans, reverse, _params_key(kwargs))
         if key not in self._simulations:
-            graph = self.reordered_graph(dataset, algorithm)
-            config = SimulationConfig.scaled_for(graph, direction=direction)
+            graph = self.reordered_graph(
+                dataset, algorithm, factory=factory, **kwargs
+            )
+            if reverse:
+                graph = graph.reversed()
             if with_scans:
-                approx_len = graph.num_edges + graph.num_vertices // 4
-                config = SimulationConfig(
-                    cache=config.cache,
-                    tlb=config.tlb,
-                    num_threads=config.num_threads,
-                    interleave_interval=config.interleave_interval,
-                    scan_interval=max(1, approx_len // 64),
-                    direction=config.direction,
-                    promote_sequential=config.promote_sequential,
-                    timing=config.timing,
-                )
-            self._simulations[key] = simulate_spmv(graph, config)
+                config = _scan_config(graph, direction)
+            else:
+                config = SimulationConfig.scaled_for(graph, direction=direction)
+            self._simulations[key] = _simulation_stage(
+                graph,
+                config,
+                dataset,
+                algorithm,
+                dict(kwargs),
+                direction,
+                with_scans,
+                reverse,
+                **self._stage_kwargs(),
+            )
         return self._simulations[key]
 
     def family(self, dataset: str) -> str:
@@ -122,12 +314,13 @@ class Workloads:
         return DATASETS[dataset].family
 
     def clear(self) -> None:
-        """Drop every cached artefact (tests use this for isolation)."""
+        """Drop every in-memory artefact (tests use this for isolation)."""
         self._graphs.clear()
         self._reorderings.clear()
         self._reordered_graphs.clear()
         self._simulations.clear()
 
 
-#: The shared process-wide instance the benchmarks use.
+#: The shared process-wide instance the benchmarks use (no disk store:
+#: attaching one is an explicit choice of the examples CLI / harness).
 workloads = Workloads()

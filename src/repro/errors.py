@@ -32,3 +32,7 @@ class ExperimentError(ReproError):
 
 class LintError(ReproError):
     """The static-analysis tooling hit a usage or configuration problem."""
+
+
+class StoreError(ReproError):
+    """The artifact store was misused or hit an unrecoverable state."""

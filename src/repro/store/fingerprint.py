@@ -1,0 +1,115 @@
+"""Deterministic provenance fingerprinting for stored artifacts.
+
+An artifact's identity is the SHA-256 of its *full provenance*: the
+stage kind, every parameter that feeds the computation (generator and
+reorderer parameters, seeds, the ``REPRO_SCALE`` factor), and a code
+version derived from the source text of the modules that produce it.
+Bumping any producing module therefore changes every downstream key, so
+stale cache entries self-invalidate instead of being served.
+
+Parameters are serialized through :func:`canonical_json` — a restricted,
+order-independent JSON encoding — so two processes (or two platforms)
+computing the same stage always derive the same key.
+"""
+
+from __future__ import annotations
+
+import functools
+import hashlib
+import importlib.util
+import json
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+from repro.errors import StoreError
+
+__all__ = ["canonical_json", "code_version", "fingerprint", "clear_code_version_cache"]
+
+
+def canonical_json(value: Any) -> str:
+    """Deterministic JSON encoding of key material (sorted, compact)."""
+    return json.dumps(_canonical(value), sort_keys=True, separators=(",", ":"))
+
+
+def _canonical(value: Any) -> Any:
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, np.integer):
+        return int(value)
+    if isinstance(value, np.floating):
+        return float(value)
+    if isinstance(value, np.ndarray):
+        return {
+            "__ndarray__": hashlib.sha256(np.ascontiguousarray(value).tobytes()).hexdigest(),
+            "dtype": str(value.dtype),
+            "shape": list(value.shape),
+        }
+    if isinstance(value, (list, tuple)):
+        return [_canonical(item) for item in value]
+    if isinstance(value, dict):
+        out = {}
+        for key, item in value.items():
+            if not isinstance(key, str):
+                raise StoreError(
+                    f"fingerprint dict keys must be strings, got {key!r}"
+                )
+            out[key] = _canonical(item)
+        return out
+    raise StoreError(
+        f"cannot fingerprint value of type {type(value).__name__}: {value!r}"
+    )
+
+
+@functools.lru_cache(maxsize=None)
+def _module_digest(module_name: str) -> str:
+    """SHA-256 over the source files of one module or package."""
+    spec = importlib.util.find_spec(module_name)
+    if spec is None:
+        raise StoreError(f"cannot resolve module {module_name!r} for code versioning")
+    sources: list[tuple[str, Path]] = []
+    if spec.submodule_search_locations:
+        for root in spec.submodule_search_locations:
+            root_path = Path(root)
+            for path in root_path.rglob("*.py"):
+                sources.append((path.relative_to(root_path).as_posix(), path))
+    elif spec.origin and Path(spec.origin).suffix == ".py":
+        sources.append((Path(spec.origin).name, Path(spec.origin)))
+    else:
+        raise StoreError(f"module {module_name!r} has no hashable python source")
+    digest = hashlib.sha256()
+    for relative, path in sorted(sources):
+        digest.update(relative.encode("utf-8"))
+        digest.update(b"\x00")
+        digest.update(path.read_bytes())
+        digest.update(b"\x00")
+    return digest.hexdigest()
+
+
+def code_version(*module_names: str) -> str:
+    """Combined source hash of the named modules/packages.
+
+    Cached per process (source files do not change under a running
+    pipeline); tests exercising invalidation call
+    :func:`clear_code_version_cache` after editing fixtures.
+    """
+    if not module_names:
+        raise StoreError("code_version needs at least one module name")
+    digest = hashlib.sha256()
+    for name in sorted(set(module_names)):
+        digest.update(name.encode("utf-8"))
+        digest.update(b"\x00")
+        digest.update(_module_digest(name).encode("ascii"))
+    return digest.hexdigest()[:16]
+
+
+def clear_code_version_cache() -> None:
+    """Drop memoized module digests (test hook)."""
+    _module_digest.cache_clear()
+
+
+def fingerprint(kind: str, params: dict, code: str) -> str:
+    """Content key of one artifact from its full provenance."""
+    material = canonical_json({"kind": kind, "params": params, "code": code})
+    return hashlib.sha256(material.encode("utf-8")).hexdigest()

@@ -1,0 +1,127 @@
+"""Store maintenance: integrity verification and size-bounded LRU GC.
+
+``verify_store`` re-hashes every committed payload against its sidecar
+checksum (optionally quarantining failures); ``collect_garbage`` evicts
+least-recently-used artifacts until the store fits a byte budget,
+skipping pinned (in-flight) keys and stray temporary files — a partial
+write in progress is never mistaken for garbage.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+
+from repro.errors import StoreError
+from repro.store.store import ArtifactInfo, ArtifactStore
+
+__all__ = ["VerifyIssue", "VerifyReport", "GCReport", "verify_store", "collect_garbage"]
+
+
+@dataclass(frozen=True)
+class VerifyIssue:
+    """One artifact that failed verification."""
+
+    key: str
+    kind: str
+    problem: str
+
+
+@dataclass
+class VerifyReport:
+    """Outcome of a full-store integrity pass."""
+
+    checked: int = 0
+    issues: list = field(default_factory=list)
+    quarantined: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.issues
+
+    def summary(self) -> str:
+        status = "ok" if self.ok else f"{len(self.issues)} issue(s)"
+        return f"verified {self.checked} artifact(s): {status}"
+
+
+@dataclass
+class GCReport:
+    """Outcome of one garbage collection pass."""
+
+    scanned: int = 0
+    evicted: list = field(default_factory=list)
+    skipped_pinned: int = 0
+    bytes_before: int = 0
+    bytes_after: int = 0
+
+    def summary(self) -> str:
+        return (
+            f"evicted {len(self.evicted)}/{self.scanned} artifact(s), "
+            f"{self.bytes_before:,} -> {self.bytes_after:,} bytes"
+            + (f" ({self.skipped_pinned} pinned kept)" if self.skipped_pinned else "")
+        )
+
+
+def _checksum_matches(info: ArtifactInfo) -> bool:
+    digest = hashlib.sha256()
+    with open(info.path, "rb") as handle:
+        for block in iter(lambda: handle.read(1 << 20), b""):
+            digest.update(block)
+    return digest.hexdigest() == info.checksum
+
+
+def verify_store(store: ArtifactStore, *, quarantine: bool = False) -> VerifyReport:
+    """Checksum-verify every committed artifact in the store."""
+    report = VerifyReport()
+    for info in store.infos():
+        report.checked += 1
+        problem = ""
+        try:
+            meta = json.loads(info.meta_path.read_text(encoding="utf-8"))
+            if meta.get("key") != info.key or meta.get("kind") != info.kind:
+                problem = "sidecar identity mismatch"
+            elif not _checksum_matches(info):
+                problem = "checksum mismatch"
+        except (OSError, ValueError):
+            problem = "unreadable artifact"
+        if problem:
+            report.issues.append(VerifyIssue(info.key, info.kind, problem))
+            if quarantine:
+                store.quarantine(info.key, info.kind, reason=problem)
+                report.quarantined += 1
+    return report
+
+
+def collect_garbage(store: ArtifactStore, max_bytes: int) -> GCReport:
+    """Evict LRU artifacts until total payload size fits ``max_bytes``.
+
+    Most-recently-accessed artifacts are retained first; pinned keys are
+    never evicted, even when keeping them leaves the store over budget.
+    """
+    if max_bytes < 0:
+        raise StoreError(f"max_bytes must be non-negative, got {max_bytes}")
+    infos = store.infos()
+    report = GCReport(scanned=len(infos))
+    report.bytes_before = sum(info.size_bytes for info in infos)
+    # Most recently used first: fill the budget, evict the LRU tail.
+    by_recency = sorted(infos, key=lambda info: info.last_access_at, reverse=True)
+    kept_bytes = 0
+    for info in by_recency:
+        if kept_bytes + info.size_bytes <= max_bytes or info.pinned:
+            if info.pinned and kept_bytes + info.size_bytes > max_bytes:
+                report.skipped_pinned += 1
+            kept_bytes += info.size_bytes
+            continue
+        try:
+            removed = store.remove(info.key, info.kind)
+        except StoreError:  # pinned between the check and the unlink
+            report.skipped_pinned += 1
+            kept_bytes += info.size_bytes
+            continue
+        if removed:
+            report.evicted.append((info.kind, info.key))
+        else:
+            kept_bytes += info.size_bytes
+    report.bytes_after = kept_bytes
+    return report

@@ -1,0 +1,141 @@
+"""``@cached_stage`` — memoize a pipeline stage through the store.
+
+The decorator turns a pure stage function (same parameters + same code
+version => same artifact) into a store-backed one.  The wrapped function
+grows three reserved keyword arguments:
+
+``store``
+    An :class:`~repro.store.store.ArtifactStore`, or ``None`` to
+    compute without caching (the default, so decorated stages behave
+    exactly like the plain function unless a store is threaded in).
+``refresh``
+    Force recomputation and overwrite the stored artifact.
+``manifest``
+    A :class:`~repro.store.manifest.RunManifest` receiving one record
+    per call (hit / computed / refreshed, with duration and key).
+
+The key is *not* derived from the raw call arguments — stages receive
+heavyweight objects (graphs) whose identity is already captured by
+upstream parameters — but from an explicit ``key`` callable mapping the
+call to a provenance dict.  ``encode``/``decode`` adapt results whose
+natural form needs call context to reconstruct (a stored simulation
+needs its graph and config back).
+"""
+
+from __future__ import annotations
+
+import functools
+import time
+from typing import Any, Callable, Optional
+
+from repro.errors import StoreError
+from repro.store.fingerprint import code_version, fingerprint
+from repro.store.manifest import RunManifest
+from repro.store.store import ArtifactStore
+
+__all__ = ["cached_stage"]
+
+
+def cached_stage(
+    kind: str,
+    *,
+    code: "tuple[str, ...]",
+    key: Callable[..., dict],
+    encode: Optional[Callable[[Any], Any]] = None,
+    decode: Optional[Callable[..., Any]] = None,
+) -> Callable[[Callable[..., Any]], Callable[..., Any]]:
+    """Decorator factory memoizing one stage kind through the store.
+
+    Parameters
+    ----------
+    kind:
+        Artifact kind (must have a registered serializer); also the
+        stage label in manifests.
+    code:
+        Module/package names whose source text versions this stage's
+        outputs; editing any of them invalidates existing keys.
+    key:
+        Maps the stage call's arguments to the provenance-parameter
+        dict that (with the code version) forms the content key.
+    encode / decode:
+        Optional adapters between the stage's return type and the
+        stored payload; ``decode`` receives the stored payload followed
+        by the original call arguments.
+    """
+
+    def decorate(fn: Callable[..., Any]) -> Callable[..., Any]:
+        @functools.wraps(fn)
+        def wrapper(
+            *args: Any,
+            store: Optional[ArtifactStore] = None,
+            refresh: bool = False,
+            manifest: Optional[RunManifest] = None,
+            **kwargs: Any,
+        ) -> Any:
+            if store is None:
+                start = time.perf_counter()
+                result = fn(*args, **kwargs)
+                if manifest is not None:
+                    manifest.record(
+                        kind, "", "computed", time.perf_counter() - start
+                    )
+                return result
+            params = key(*args, **kwargs)
+            version = code_version(*code)
+            content_key = fingerprint(kind, params, version)
+            with store.pin(content_key, kind):
+                if not refresh:
+                    start = time.perf_counter()
+                    stored = store.get(content_key, kind)
+                    if stored is not None:
+                        result = (
+                            decode(stored, *args, **kwargs)
+                            if decode is not None
+                            else stored
+                        )
+                        if manifest is not None:
+                            manifest.record(
+                                kind,
+                                content_key,
+                                "hit",
+                                time.perf_counter() - start,
+                                params=params,
+                            )
+                        return result
+                start = time.perf_counter()
+                result = fn(*args, **kwargs)
+                duration = time.perf_counter() - start
+                payload = encode(result) if encode is not None else result
+                if payload is None:
+                    raise StoreError(
+                        f"stage {fn.__qualname__} produced None; cached stages "
+                        "must return a storable artifact"
+                    )
+                info = store.put(
+                    content_key,
+                    kind,
+                    payload,
+                    provenance={
+                        "stage": fn.__qualname__,
+                        "params": params,
+                        "code_version": version,
+                        "code_modules": list(code),
+                        "duration_s": duration,
+                    },
+                )
+                if manifest is not None:
+                    manifest.record(
+                        kind,
+                        content_key,
+                        "refreshed" if refresh else "computed",
+                        duration,
+                        params=params,
+                        size_bytes=info.size_bytes,
+                    )
+            return result
+
+        wrapper.__wrapped_stage__ = fn  # type: ignore[attr-defined]
+        wrapper.stage_kind = kind  # type: ignore[attr-defined]
+        return wrapper
+
+    return decorate

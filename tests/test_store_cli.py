@@ -1,0 +1,120 @@
+"""``python -m repro.store`` — subcommand behaviour and exit codes."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.store import ArtifactStore
+from repro.store.cli import main
+
+
+def _key(n: int) -> str:
+    return f"{n:02x}" * 32
+
+
+@pytest.fixture
+def store(tmp_path) -> ArtifactStore:
+    store = ArtifactStore(tmp_path / "store")
+    store.put(_key(0xAA), "json", {"v": 1}, provenance={"stage": "t"})
+    store.put(_key(0xBB), "json", {"v": 2})
+    return store
+
+
+def _run(store: ArtifactStore, *argv: str) -> int:
+    return main(["--store", str(store.root), *argv])
+
+
+class TestLs:
+    def test_lists_artifacts(self, store, capsys):
+        assert _run(store, "ls") == 0
+        out = capsys.readouterr().out
+        assert "2 artifact(s)" in out
+        assert _key(0xAA)[:12] in out
+
+    def test_kind_filter(self, store, capsys):
+        assert _run(store, "ls", "--kind", "graph") == 0
+        assert "(empty store" in capsys.readouterr().out
+
+    def test_empty_store(self, tmp_path, capsys):
+        assert main(["--store", str(tmp_path / "none"), "ls"]) == 0
+        assert "(empty store" in capsys.readouterr().out
+
+
+class TestInfo:
+    def test_unique_prefix(self, store, capsys):
+        assert _run(store, "info", _key(0xAA)[:8]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["key"] == _key(0xAA)
+        assert document["kind"] == "json"
+        assert document["provenance"] == {"stage": "t"}
+
+    def test_unknown_prefix(self, store, capsys):
+        assert _run(store, "info", "ff00") == 1
+        assert "no artifact" in capsys.readouterr().out
+
+    def test_ambiguous_prefix(self, tmp_path, capsys):
+        store = ArtifactStore(tmp_path / "amb")
+        store.put("aa11" + "0" * 60, "json", {"v": 1})
+        store.put("aa22" + "0" * 60, "json", {"v": 2})
+        assert _run(store, "info", "aa") == 1
+        assert "2 artifacts match" in capsys.readouterr().out
+
+
+class TestVerify:
+    def test_clean_store(self, store, capsys):
+        assert _run(store, "verify") == 0
+        assert "ok" in capsys.readouterr().out
+
+    def test_corruption_fails(self, store, capsys):
+        info = store.info(_key(0xBB), "json")
+        info.path.write_bytes(b"garbage")
+        assert _run(store, "verify") == 1
+        assert "checksum mismatch" in capsys.readouterr().out
+        # Not moved without --quarantine.
+        assert store.contains(_key(0xBB), "json")
+
+    def test_quarantine_flag_sweeps(self, store, capsys):
+        info = store.info(_key(0xBB), "json")
+        info.path.write_bytes(b"garbage")
+        assert _run(store, "verify", "--quarantine") == 1
+        assert not store.contains(_key(0xBB), "json")
+        assert _run(store, "verify") == 0
+
+
+class TestGC:
+    def test_zero_budget_evicts_all(self, store, capsys):
+        assert _run(store, "gc", "--max-bytes", "0") == 0
+        out = capsys.readouterr().out
+        assert "evicted 2/2" in out
+        assert store.infos() == []
+
+    def test_mb_budget_keeps_everything_small(self, store, capsys):
+        assert _run(store, "gc", "--max-mb", "10") == 0
+        assert len(store.infos()) == 2
+
+    def test_requires_a_bound(self, store, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            _run(store, "gc")
+        assert excinfo.value.code == 2
+
+    def test_negative_bound_is_config_error(self, store, capsys):
+        assert _run(store, "gc", "--max-bytes", "-5") == 2
+        assert "error:" in capsys.readouterr().out
+
+
+class TestEntryPoint:
+    def test_module_is_executable(self, tmp_path, repo_root):
+        import subprocess
+        import sys
+
+        result = subprocess.run(
+            [sys.executable, "-m", "repro.store", "--store", str(tmp_path), "ls"],
+            capture_output=True,
+            text=True,
+            cwd=repo_root,
+            env={"PYTHONPATH": str(repo_root / "src"), "PATH": "/usr/bin:/bin"},
+        )
+        assert result.returncode == 0
+        assert "(empty store" in result.stdout

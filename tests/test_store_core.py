@@ -1,0 +1,232 @@
+"""Artifact store: serializers, durability, quarantine, pinning, GC."""
+
+from __future__ import annotations
+
+import json
+import os
+from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
+import pytest
+
+from repro.errors import StoreError
+from repro.reorder import get_algorithm
+from repro.sim import SimulationConfig, simulate_spmv
+from repro.store import (
+    STORE_DIR_ENV,
+    ArtifactStore,
+    StoredSimulation,
+    collect_garbage,
+    default_store_dir,
+    get_serializer,
+    verify_store,
+)
+
+
+@pytest.fixture
+def store(tmp_path) -> ArtifactStore:
+    return ArtifactStore(tmp_path / "store")
+
+
+def _key(n: int) -> str:
+    """Distinct, prefix-controllable 64-char pseudo-keys."""
+    return f"{n:02x}" * 32
+
+
+class TestDefaultLocation:
+    def test_env_override(self, monkeypatch, tmp_path):
+        monkeypatch.setenv(STORE_DIR_ENV, str(tmp_path / "elsewhere"))
+        assert default_store_dir() == tmp_path / "elsewhere"
+        assert ArtifactStore().root == tmp_path / "elsewhere"
+
+    def test_default_is_repo_local(self, monkeypatch):
+        monkeypatch.delenv(STORE_DIR_ENV, raising=False)
+        assert str(default_store_dir()) == ".repro-store"
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(StoreError):
+            get_serializer("not-a-kind")
+
+
+class TestRoundTrips:
+    def test_json(self, store):
+        payload = {"rows": [[1, 2.5, "x"]], "nested": {"t": [1, 2]}}
+        store.put(_key(1), "json", payload)
+        assert store.get(_key(1), "json") == payload
+
+    def test_graph(self, store, tiny_graph):
+        store.put(_key(2), "graph", tiny_graph)
+        loaded = store.get(_key(2), "graph")
+        assert loaded.num_vertices == tiny_graph.num_vertices
+        assert loaded.num_edges == tiny_graph.num_edges
+        assert loaded == tiny_graph
+
+    def test_reordering(self, store, two_hop_ring):
+        result = get_algorithm("degree")(two_hop_ring)
+        store.put(_key(3), "reordering", result)
+        loaded = store.get(_key(3), "reordering")
+        assert loaded.algorithm == result.algorithm
+        assert np.array_equal(loaded.relabeling, result.relabeling)
+        assert loaded.preprocessing_seconds == result.preprocessing_seconds
+        assert loaded.details == result.details
+
+    def test_simulation(self, store, two_hop_ring):
+        config = SimulationConfig.scaled_for(two_hop_ring, scan_interval=16)
+        result = simulate_spmv(two_hop_ring, config)
+        store.put(_key(4), "simulation", StoredSimulation.from_result(result))
+        loaded = store.get(_key(4), "simulation")
+        rebuilt = loaded.to_result(two_hop_ring, config)
+        assert np.array_equal(rebuilt.hits, result.hits)
+        assert np.array_equal(rebuilt.trace.lines, result.trace.lines)
+        assert rebuilt.tlb_misses == result.tlb_misses
+        assert rebuilt.l3_misses == result.l3_misses
+        assert len(rebuilt.snapshots) == len(result.snapshots)
+        for a, b in zip(rebuilt.snapshots, result.snapshots):
+            assert a.access_index == b.access_index
+            assert np.array_equal(a.resident_lines, b.resident_lines)
+        assert rebuilt.effective_cache_size() == result.effective_cache_size()
+
+    def test_wrong_type_rejected_at_write(self, store, tiny_graph):
+        with pytest.raises(StoreError):
+            store.put(_key(5), "graph", {"not": "a graph"})
+        assert not store.contains(_key(5), "graph")
+
+
+class TestDurability:
+    def test_no_temp_litter_after_put(self, store):
+        info = store.put(_key(1), "json", {"v": 1})
+        litter = [
+            p for p in info.path.parent.iterdir() if p.name.startswith("tmp-")
+        ]
+        assert litter == []
+
+    def test_concurrent_same_key_writers(self, store):
+        payload = {"rows": list(range(200))}
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            futures = [
+                pool.submit(store.put, _key(6), "json", payload) for _ in range(16)
+            ]
+            for future in futures:
+                future.result()
+        assert store.get(_key(6), "json") == payload
+        assert verify_store(store).ok
+        assert len(store.infos()) == 1
+
+    def test_concurrent_distinct_writers(self, store):
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            futures = [
+                pool.submit(store.put, _key(i), "json", {"i": i}) for i in range(24)
+            ]
+            for future in futures:
+                future.result()
+        assert len(store.infos("json")) == 24
+        assert verify_store(store).ok
+
+    def test_read_bumps_last_access(self, store):
+        info = store.put(_key(7), "json", {"v": 1})
+        past = info.created_at - 3600
+        os.utime(info.path, (past, past))
+        store.get(_key(7), "json")
+        refreshed = store.info(_key(7), "json")
+        assert refreshed.last_access_at > past
+
+
+class TestQuarantine:
+    def test_corrupt_payload_is_quarantined(self, store):
+        info = store.put(_key(8), "json", {"v": 1})
+        info.path.write_bytes(b"garbage")
+        assert store.get(_key(8), "json") is None
+        assert not store.contains(_key(8), "json")
+        moved = list((store.quarantine_dir / "json").iterdir())
+        names = {p.name for p in moved}
+        assert info.path.name in names
+        reason = (store.quarantine_dir / "json" / f"{_key(8)}.reason.txt").read_text(
+            encoding="utf-8"
+        )
+        assert "checksum mismatch" in reason
+
+    def test_unreadable_sidecar_is_quarantined(self, store):
+        info = store.put(_key(9), "json", {"v": 1})
+        info.meta_path.write_text("{not json", encoding="utf-8")
+        assert store.get(_key(9), "json") is None
+        assert not store.contains(_key(9), "json")
+
+    def test_undecodable_payload_is_quarantined(self, store, tiny_graph):
+        # Bytes that hash clean against a rewritten sidecar but cannot
+        # deserialize: the load failure itself must quarantine.
+        info = store.put(_key(10), "graph", tiny_graph)
+        info.path.write_bytes(b"not an npz file")
+        meta = json.loads(info.meta_path.read_text(encoding="utf-8"))
+        import hashlib
+
+        meta["checksum"] = hashlib.sha256(b"not an npz file").hexdigest()
+        info.meta_path.write_text(json.dumps(meta), encoding="utf-8")
+        assert store.get(_key(10), "graph") is None
+        reason = (
+            store.quarantine_dir / "graph" / f"{_key(10)}.reason.txt"
+        ).read_text(encoding="utf-8")
+        assert "deserialization failure" in reason
+
+    def test_verify_reports_and_quarantines(self, store):
+        good = store.put(_key(11), "json", {"v": 1})
+        bad = store.put(_key(12), "json", {"v": 2})
+        bad.path.write_bytes(b"flipped bits")
+        report = verify_store(store)
+        assert report.checked == 2
+        assert not report.ok
+        assert [issue.key for issue in report.issues] == [_key(12)]
+
+        report = verify_store(store, quarantine=True)
+        assert report.quarantined == 1
+        assert store.contains(good.key, "json")
+        assert not store.contains(bad.key, "json")
+        assert verify_store(store).ok
+
+
+class TestPinningAndGC:
+    def test_remove_pinned_raises(self, store):
+        store.put(_key(13), "json", {"v": 1})
+        with store.pin(_key(13), "json"):
+            assert store.is_pinned(_key(13), "json")
+            with pytest.raises(StoreError):
+                store.remove(_key(13), "json")
+        assert not store.is_pinned(_key(13), "json")
+        assert store.remove(_key(13), "json")
+
+    def test_gc_negative_budget_rejected(self, store):
+        with pytest.raises(StoreError):
+            collect_garbage(store, -1)
+
+    def test_gc_keeps_mru_within_budget(self, store):
+        infos = [store.put(_key(20 + i), "json", {"pad": "x" * 512}) for i in range(4)]
+        # Deterministic LRU axis: oldest access first.
+        for age, info in enumerate(reversed(infos)):
+            stamp = info.created_at - 1000 * (age + 1)
+            os.utime(info.path, (stamp, stamp))
+        size = infos[0].size_bytes
+        report = collect_garbage(store, max_bytes=2 * size)
+        evicted_keys = {key for _, key in report.evicted}
+        # The two least recently used (first two puts) go.
+        assert evicted_keys == {_key(20), _key(21)}
+        assert report.bytes_after <= 2 * size
+        assert store.total_size_bytes() <= 2 * size
+        assert store.contains(_key(22), "json")
+        assert store.contains(_key(23), "json")
+
+    def test_gc_never_evicts_pinned(self, store):
+        store.put(_key(30), "json", {"pad": "x" * 512})
+        with store.pin(_key(30), "json"):
+            report = collect_garbage(store, max_bytes=0)
+            assert report.skipped_pinned == 1
+            assert report.evicted == []
+            assert store.contains(_key(30), "json")
+        report = collect_garbage(store, max_bytes=0)
+        assert store.total_size_bytes() == 0
+        assert len(report.evicted) == 1
+
+    def test_gc_zero_budget_empties_unpinned(self, store):
+        for i in range(3):
+            store.put(_key(40 + i), "json", {"i": i})
+        report = collect_garbage(store, max_bytes=0)
+        assert len(report.evicted) == 3
+        assert store.infos() == []

@@ -1,0 +1,195 @@
+"""Memoized pipeline: warm runs reuse stored stages, bit-identically.
+
+Runs under a tiny ``REPRO_SCALE`` so each store round-trip covers the
+full stage graph (generate -> reorder -> rebuild -> simulate) in
+seconds.  Stage *regeneration* is observed two ways: through the run
+manifest (hit/computed records) and by counting calls into the
+underlying producers (``load_dataset`` / ``get_algorithm`` /
+``simulate_spmv``) — a warm run must make zero of them.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import importlib
+import math
+
+import numpy as np
+import pytest
+
+# The package re-exports a ``workloads`` *instance*, which shadows the
+# submodule as an attribute — resolve the real module for monkeypatching.
+workloads_module = importlib.import_module("repro.bench.workloads")
+from repro.bench.harness import run_experiment, run_experiments
+from repro.bench.workloads import Workloads
+from repro.errors import ExperimentError
+from repro.store import ArtifactStore, environment_snapshot
+
+_DATASET = "twtr-mini"
+
+
+@pytest.fixture
+def store(tmp_path, monkeypatch) -> ArtifactStore:
+    monkeypatch.setenv("REPRO_SCALE", "0.05")
+    return ArtifactStore(tmp_path / "store")
+
+
+@pytest.fixture
+def producer_calls(monkeypatch) -> dict:
+    """Count every call into the expensive stage producers."""
+    calls = {"load_dataset": 0, "get_algorithm": 0, "simulate_spmv": 0}
+
+    def counting(name):
+        original = getattr(workloads_module, name)
+
+        def wrapper(*args, **kwargs):
+            calls[name] += 1
+            return original(*args, **kwargs)
+
+        return wrapper
+
+    for name in calls:
+        monkeypatch.setattr(workloads_module, name, counting(name))
+    return calls
+
+
+def _normalize(value):
+    """Recursive, NaN-stable form for exact data comparison."""
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            f.name: _normalize(getattr(value, f.name))
+            for f in dataclasses.fields(value)
+        }
+    if isinstance(value, dict):
+        return {k: _normalize(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_normalize(v) for v in value]
+    if isinstance(value, np.ndarray):
+        return [_normalize(v) for v in value.tolist()]
+    if isinstance(value, np.generic):
+        return _normalize(value.item())
+    if isinstance(value, float) and math.isnan(value):
+        return "__nan__"
+    return value
+
+
+class TestWarmRunsAreCached:
+    def test_second_run_regenerates_nothing(self, store, producer_calls):
+        cold = Workloads(store=store)
+        cold.simulation(_DATASET, "degree", with_scans=False)
+        assert producer_calls["load_dataset"] > 0
+        assert producer_calls["get_algorithm"] > 0
+        assert producer_calls["simulate_spmv"] > 0
+        assert cold.manifest.computed_count() > 0
+        assert cold.manifest.hit_count() == 0
+
+        for name in producer_calls:
+            producer_calls[name] = 0
+        warm = Workloads(store=store)
+        warm.simulation(_DATASET, "degree", with_scans=False)
+        assert producer_calls == {
+            "load_dataset": 0,
+            "get_algorithm": 0,
+            "simulate_spmv": 0,
+        }
+        assert warm.manifest.computed_count() == 0
+        assert warm.manifest.hit_count() > 0
+        assert warm.stats == {
+            "graph": {"hits": 1, "computed": 0},
+            "reordering": {"hits": 1, "computed": 0},
+            "reordered-graph": {"hits": 1, "computed": 0},
+            "simulation": {"hits": 1, "computed": 0},
+        }
+
+    def test_warm_experiment_data_is_bit_identical(self, store):
+        cold = run_experiment("fig3", Workloads(store=store))
+        warm = run_experiment("fig3", Workloads(store=store))
+        assert _normalize(warm.data) == _normalize(cold.data)
+        # And identical to a store-less (never-cached) computation.
+        plain = run_experiment("fig3", Workloads())
+        assert _normalize(warm.data) == _normalize(plain.data)
+
+    def test_simulation_results_identical_cold_vs_warm(self, store):
+        cold = Workloads(store=store).simulation(_DATASET, "degree", with_scans=False)
+        warm = Workloads(store=store).simulation(_DATASET, "degree", with_scans=False)
+        assert np.array_equal(warm.hits, cold.hits)
+        assert np.array_equal(warm.trace.lines, cold.trace.lines)
+        assert warm.l3_misses == cold.l3_misses
+        assert warm.tlb_misses == cold.tlb_misses
+
+    def test_wall_clock_provenance_is_cached(self, store):
+        cold = Workloads(store=store).reordering(_DATASET, "degree")
+        warm = Workloads(store=store).reordering(_DATASET, "degree")
+        assert warm.preprocessing_seconds == cold.preprocessing_seconds
+        assert warm.details == cold.details
+
+
+class TestInvalidationAndRecovery:
+    def test_code_version_bump_invalidates(self, store, monkeypatch, producer_calls):
+        cold = Workloads(store=store)
+        cold.graph(_DATASET)
+        monkeypatch.setattr(
+            "repro.store.memo.code_version", lambda *names: "f" * 16
+        )
+        producer_calls["load_dataset"] = 0
+        bumped = Workloads(store=store)
+        bumped.graph(_DATASET)
+        assert producer_calls["load_dataset"] > 0
+        assert bumped.manifest.computed_count("graph") == 1
+
+    def test_refresh_recomputes_and_overwrites(self, store, producer_calls):
+        Workloads(store=store).graph(_DATASET)
+        producer_calls["load_dataset"] = 0
+        refreshed = Workloads(store=store, refresh=True)
+        refreshed.graph(_DATASET)
+        assert producer_calls["load_dataset"] == 1
+        assert [r.status for r in refreshed.manifest.records] == ["refreshed"]
+
+    def test_corrupted_artifact_recomputed_not_crashed(self, store, producer_calls):
+        Workloads(store=store).graph(_DATASET)
+        infos = store.infos("graph")
+        assert len(infos) == 1
+        infos[0].path.write_bytes(b"bitrot")
+
+        producer_calls["load_dataset"] = 0
+        recovered = Workloads(store=store)
+        graph = recovered.graph(_DATASET)
+        assert graph.num_vertices > 0
+        assert producer_calls["load_dataset"] == 1
+        assert recovered.manifest.computed_count("graph") == 1
+        # The corrupt payload went to quarantine and a clean one returned.
+        assert any(store.quarantine_dir.rglob("*.reason.txt"))
+        assert store.contains(infos[0].key, "graph")
+        warm = Workloads(store=store)
+        warm.graph(_DATASET)
+        assert warm.manifest.hit_count("graph") == 1
+
+
+class TestProvenanceSchema:
+    def test_report_and_manifest_share_environment_schema(self, store):
+        report = run_experiment("table1", Workloads(store=store))
+        assert report.duration_s > 0
+        snapshot = environment_snapshot()
+        assert set(report.environment) == set(snapshot)
+        manifest = Workloads(store=store).manifest
+        assert set(manifest.environment) == set(snapshot)
+        for field in ("python", "numpy", "repro_scale", "code_version"):
+            assert field in report.environment
+
+    def test_manifest_saves_under_store(self, store):
+        w = Workloads(store=store)
+        w.graph(_DATASET)
+        path = w.manifest.save(store)
+        assert path.parent == store.manifests_dir
+        assert path.exists()
+
+
+class TestHarnessWiring:
+    def test_store_and_workloads_are_mutually_exclusive(self, store):
+        with pytest.raises(ExperimentError):
+            run_experiments(["table1"], Workloads(), store=store)
+
+    def test_run_experiments_builds_store_backed_workloads(self, store):
+        reports = run_experiments(["fig3"], store=store)
+        assert reports["fig3"].experiment_id == "fig3"
+        assert store.infos()  # stages were persisted
