@@ -18,6 +18,7 @@ import argparse
 import sys
 import time
 
+from repro import obs
 from repro.bench import experiment_ids, run_experiment, run_experiments
 from repro.bench.workloads import Workloads
 from repro.store import ArtifactStore, RunManifest, default_store_dir
@@ -58,6 +59,20 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="DIR",
         help=f"artifact store directory (default: {default_store_dir()})",
     )
+    parser.add_argument(
+        "--trace",
+        default=None,
+        metavar="RUN_JSON",
+        help="enable span/metric tracing and save the run document here "
+        "(inspect with: python -m repro.obs summarize RUN_JSON)",
+    )
+    parser.add_argument(
+        "--chrome-trace",
+        default=None,
+        metavar="TRACE_JSON",
+        help="also write a chrome://tracing event file (implies --trace "
+        "collection for this run)",
+    )
     return parser
 
 
@@ -85,6 +100,14 @@ def main(argv: list[str]) -> int:
     store = None
     if not args.no_cache:
         store = ArtifactStore(args.store or default_store_dir())
+
+    tracing = args.trace is not None or args.chrome_trace is not None
+    if tracing:
+        if args.jobs is not None:
+            print("--trace/--chrome-trace require the in-process runner (no --jobs)")
+            return 2
+        obs.reset_all()
+        obs.enable()
 
     failures = 0
     start = time.perf_counter()
@@ -124,6 +147,16 @@ def main(argv: list[str]) -> int:
                 f"manifest {path}]"
             )
     elapsed = time.perf_counter() - start
+
+    if tracing:
+        obs.disable()
+        if args.trace is not None:
+            path = obs.save_run(args.trace)
+            print(f"[trace: run document {path} "
+                  f"(python -m repro.obs summarize {path})]")
+        if args.chrome_trace is not None:
+            path = obs.save_chrome_trace(args.chrome_trace)
+            print(f"[trace: chrome://tracing file {path}]")
 
     if failures:
         print(f"{failures} experiment(s) had shape mismatches ({elapsed:.1f}s total)")

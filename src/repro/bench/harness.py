@@ -14,6 +14,9 @@ from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, field
 
 from repro.errors import ExperimentError
+from repro.obs import enabled as obs_enabled
+from repro.obs import metrics as obs_metrics
+from repro.obs import span
 from repro.store.manifest import environment_snapshot
 from repro.store.store import ArtifactStore
 from repro.bench.workloads import Workloads, workloads as default_workloads
@@ -37,6 +40,8 @@ class ExperimentReport:
     experiment verifies to a boolean outcome.  ``duration_s`` and
     ``environment`` are provenance the harness fills in — the same
     schema store manifests use (:func:`repro.store.manifest.environment_snapshot`).
+    ``metrics`` holds the counter increments this experiment caused
+    (``sim.accesses``, ``store.hit``, ...) when tracing is enabled.
     """
 
     experiment_id: str
@@ -46,6 +51,7 @@ class ExperimentReport:
     shape_checks: dict[str, bool] = field(default_factory=dict)
     duration_s: float = 0.0
     environment: dict = field(default_factory=dict)
+    metrics: dict = field(default_factory=dict)
 
     @property
     def all_shapes_hold(self) -> bool:
@@ -96,8 +102,10 @@ def run_experiment(
     module = importlib.import_module(EXPERIMENTS[experiment_id])
     if workloads is None:
         workloads = default_workloads
+    before = obs_metrics.registry.snapshot() if obs_enabled() else {}
     start = time.perf_counter()
-    report = module.run(workloads)
+    with span(f"bench.{experiment_id}"):
+        report = module.run(workloads)
     if not isinstance(report, ExperimentReport):
         raise ExperimentError(
             f"experiment {experiment_id!r} returned {type(report).__name__}, "
@@ -106,6 +114,8 @@ def run_experiment(
     report.duration_s = time.perf_counter() - start
     if not report.environment:
         report.environment = environment_snapshot()
+    if obs_enabled():
+        report.metrics = obs_metrics.registry.counter_delta(before)
     return report
 
 

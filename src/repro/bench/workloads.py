@@ -19,6 +19,7 @@ from typing import Callable, Optional
 
 from repro.errors import ExperimentError
 from repro.generate.datasets import DATASETS, load_dataset, scale_factor
+from repro.obs import span
 from repro.graph.graph import Graph
 from repro.reorder import ReorderResult, get_algorithm
 from repro.sim.simulator import SimulationConfig, SimulationResult, simulate_spmv
@@ -202,7 +203,10 @@ class Workloads:
                 f"unknown dataset {dataset!r}; available: {sorted(DATASETS)}"
             )
         if dataset not in self._graphs:
-            self._graphs[dataset] = _graph_stage(dataset, **self._stage_kwargs())
+            with span("workload.graph", dataset=dataset):
+                self._graphs[dataset] = _graph_stage(
+                    dataset, **self._stage_kwargs()
+                )
         return self._graphs[dataset]
 
     def reordering(
@@ -228,15 +232,17 @@ class Workloads:
         """
         key = (dataset, algorithm, track_memory, _params_key(kwargs))
         if key not in self._reorderings:
-            self._reorderings[key] = _reordering_stage(
-                self.graph(dataset),
-                dataset,
-                algorithm,
-                track_memory,
-                dict(kwargs),
-                factory,
-                **self._stage_kwargs(),
-            )
+            graph = self.graph(dataset)
+            with span("workload.reordering", dataset=dataset, algorithm=algorithm):
+                self._reorderings[key] = _reordering_stage(
+                    graph,
+                    dataset,
+                    algorithm,
+                    track_memory,
+                    dict(kwargs),
+                    factory,
+                    **self._stage_kwargs(),
+                )
         return self._reorderings[key]
 
     def reordered_graph(
@@ -294,17 +300,18 @@ class Workloads:
                 config = _scan_config(graph, direction)
             else:
                 config = SimulationConfig.scaled_for(graph, direction=direction)
-            self._simulations[key] = _simulation_stage(
-                graph,
-                config,
-                dataset,
-                algorithm,
-                dict(kwargs),
-                direction,
-                with_scans,
-                reverse,
-                **self._stage_kwargs(),
-            )
+            with span("workload.simulation", dataset=dataset, algorithm=algorithm):
+                self._simulations[key] = _simulation_stage(
+                    graph,
+                    config,
+                    dataset,
+                    algorithm,
+                    dict(kwargs),
+                    direction,
+                    with_scans,
+                    reverse,
+                    **self._stage_kwargs(),
+                )
         return self._simulations[key]
 
     def family(self, dataset: str) -> str:

@@ -36,3 +36,7 @@ class LintError(ReproError):
 
 class StoreError(ReproError):
     """The artifact store was misused or hit an unrecoverable state."""
+
+
+class ObservabilityError(ReproError):
+    """The tracing/metrics layer was misused (bad metric type, bad run file)."""

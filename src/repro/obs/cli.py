@@ -1,0 +1,71 @@
+"""``python -m repro.obs`` — inspect and convert saved run documents.
+
+Subcommands:
+
+* ``summarize <run.json>`` — per-phase span table + metrics, to stdout;
+* ``chrome <run.json> -o trace.json`` — convert to Chrome trace-event
+  format for ``chrome://tracing`` / Perfetto.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.errors import ObservabilityError
+from repro.obs import export as _export
+
+__all__ = ["main"]
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description="Inspect repro.obs run documents (spans + metrics).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    summarize = sub.add_parser(
+        "summarize", help="print a per-phase span table and metrics"
+    )
+    summarize.add_argument("run", help="path to a saved run.json")
+    summarize.add_argument(
+        "--top",
+        type=int,
+        default=0,
+        metavar="N",
+        help="show only the first N phases (default: all)",
+    )
+
+    chrome = sub.add_parser(
+        "chrome", help="convert a run document to Chrome trace-event JSON"
+    )
+    chrome.add_argument("run", help="path to a saved run.json")
+    chrome.add_argument(
+        "-o",
+        "--output",
+        default="trace.json",
+        help="output trace file (default: trace.json)",
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    try:
+        document = _export.load_run(args.run)
+        if args.command == "summarize":
+            print(_export.summarize_run(document, top=args.top))
+        else:
+            written = _export.save_chrome_trace(args.output, document)
+            events = len(document.get("spans", []))
+            print(f"wrote {events} trace event(s) to {written}")
+    except ObservabilityError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

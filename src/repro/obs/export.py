@@ -1,0 +1,251 @@
+"""Exporters: JSON run documents, Chrome trace events, text summaries.
+
+Three consumers, three formats:
+
+* :func:`export_run` / :func:`save_run` — the canonical JSON document
+  (``version`` / ``spans`` / ``metrics`` / ``environment``) the
+  ``python -m repro.obs summarize`` CLI and the tests read;
+* :func:`chrome_trace_events` / :func:`save_chrome_trace` — the Chrome
+  trace-event format (open in ``chrome://tracing`` or Perfetto);
+* :func:`summarize_run` — the human-readable per-phase table, built by
+  aggregating spans over their *name path* (root span name ``/`` child
+  span name ``/`` ...), with self-time accounting.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import uuid
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Union
+
+from repro.errors import ObservabilityError
+from repro.obs import core as _core
+from repro.obs import metrics as _metrics
+
+__all__ = [
+    "export_run",
+    "save_run",
+    "load_run",
+    "chrome_trace_events",
+    "save_chrome_trace",
+    "PhaseSummary",
+    "aggregate_phases",
+    "summarize_run",
+]
+
+RUN_FORMAT_VERSION = 1
+
+
+def export_run(*, environment: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
+    """The currently collected spans + metrics as one JSON-able document."""
+    if environment is None:
+        # Imported lazily: repro.store.manifest pulls in numpy and the
+        # store stack, which the obs core deliberately avoids.
+        from repro.store.manifest import environment_snapshot
+
+        environment = environment_snapshot()
+    return {
+        "version": RUN_FORMAT_VERSION,
+        "epoch_anchor_s": _core.EPOCH_ANCHOR,
+        "spans": [record.to_dict() for record in _core.completed_spans()],
+        "metrics": _metrics.registry.snapshot(),
+        "environment": environment,
+    }
+
+
+def _atomic_write_json(path: Union[str, os.PathLike], document: Dict[str, Any]) -> Path:
+    destination = Path(path)
+    destination.parent.mkdir(parents=True, exist_ok=True)
+    tmp = destination.parent / f"tmp-{os.getpid()}-{uuid.uuid4().hex}.json"
+    tmp.write_text(json.dumps(document, indent=2, default=str), encoding="utf-8")
+    os.replace(tmp, destination)
+    return destination
+
+
+def save_run(path: Union[str, os.PathLike]) -> Path:
+    """Atomically write :func:`export_run` to ``path``; returns the path."""
+    return _atomic_write_json(path, export_run())
+
+
+def load_run(path: Union[str, os.PathLike]) -> Dict[str, Any]:
+    """Read a saved run document back, validating the format version."""
+    source = Path(path)
+    try:
+        document = json.loads(source.read_text(encoding="utf-8"))
+    except (OSError, ValueError) as exc:
+        raise ObservabilityError(f"cannot read run file {source}: {exc}") from exc
+    if not isinstance(document, dict) or "spans" not in document:
+        raise ObservabilityError(
+            f"{source} is not a repro.obs run document (no 'spans' key)"
+        )
+    version = document.get("version")
+    if version != RUN_FORMAT_VERSION:
+        raise ObservabilityError(
+            f"{source} has run-format version {version!r}; "
+            f"this build reads version {RUN_FORMAT_VERSION}"
+        )
+    return document
+
+
+# -- Chrome trace-event format ----------------------------------------------
+
+
+def chrome_trace_events(document: Optional[Dict[str, Any]] = None) -> List[Dict[str, Any]]:
+    """Spans as Chrome trace-event ``X`` (complete) events.
+
+    Timestamps are microseconds from the earliest span, one track per
+    thread.  Load the written file in ``chrome://tracing`` or
+    https://ui.perfetto.dev.
+    """
+    if document is None:
+        document = export_run()
+    spans = document.get("spans", [])
+    if not spans:
+        return []
+    t0 = min(float(record["start_s"]) for record in spans)
+    events: List[Dict[str, Any]] = []
+    for record in spans:
+        events.append(
+            {
+                "name": record["name"],
+                "ph": "X",
+                "ts": (float(record["start_s"]) - t0) * 1e6,
+                "dur": (float(record["end_s"]) - float(record["start_s"])) * 1e6,
+                "pid": 1,
+                "tid": record["thread_id"],
+                "args": record.get("attrs", {}),
+            }
+        )
+    return events
+
+
+def save_chrome_trace(
+    path: Union[str, os.PathLike], document: Optional[Dict[str, Any]] = None
+) -> Path:
+    """Write the Chrome trace JSON for ``document`` (default: live state)."""
+    return _atomic_write_json(
+        path,
+        {
+            "traceEvents": chrome_trace_events(document),
+            "displayTimeUnit": "ms",
+        },
+    )
+
+
+# -- textual summary ---------------------------------------------------------
+
+
+@dataclass
+class PhaseSummary:
+    """Aggregate of all spans sharing one name path."""
+
+    path: str
+    depth: int
+    count: int = 0
+    total_s: float = 0.0
+    child_s: float = 0.0
+
+    @property
+    def self_s(self) -> float:
+        return max(0.0, self.total_s - self.child_s)
+
+
+def aggregate_phases(spans: Sequence[Dict[str, Any]]) -> List[PhaseSummary]:
+    """Group spans by name path and roll child time up to parents.
+
+    The *name path* joins span names along the parent chain
+    (``bench.fig3/reorder.rabbit/reorder.rabbit.merge``), so the same
+    phase reached from different parents stays distinguishable.
+    Returns summaries in depth-first path order.
+    """
+    by_id: Dict[int, Dict[str, Any]] = {
+        int(record["span_id"]): record for record in spans
+    }
+    paths: Dict[int, str] = {}
+
+    def path_of(span_id: int) -> str:
+        cached = paths.get(span_id)
+        if cached is not None:
+            return cached
+        record = by_id[span_id]
+        parent_id = int(record["parent_id"])
+        name = str(record["name"])
+        if parent_id >= 0 and parent_id in by_id:
+            result = f"{path_of(parent_id)}/{name}"
+        else:
+            result = name
+        paths[span_id] = result
+        return result
+
+    summaries: Dict[str, PhaseSummary] = {}
+    for record in spans:
+        path = path_of(int(record["span_id"]))
+        summary = summaries.get(path)
+        if summary is None:
+            summary = PhaseSummary(path=path, depth=path.count("/"))
+            summaries[path] = summary
+        summary.count += 1
+        summary.total_s += float(record["end_s"]) - float(record["start_s"])
+    for record in spans:
+        parent_id = int(record["parent_id"])
+        if parent_id >= 0 and parent_id in by_id:
+            duration = float(record["end_s"]) - float(record["start_s"])
+            summaries[path_of(parent_id)].child_s += duration
+    return sorted(summaries.values(), key=lambda summary: summary.path)
+
+
+def _format_seconds(seconds: float) -> str:
+    if seconds >= 1.0:
+        return f"{seconds:8.3f}s"
+    return f"{seconds * 1e3:7.2f}ms"
+
+
+def summarize_run(document: Dict[str, Any], *, top: int = 0) -> str:
+    """Render one saved run as a per-phase table plus a metrics block."""
+    lines: List[str] = []
+    spans = document.get("spans", [])
+    phases = aggregate_phases(spans)
+    lines.append(f"spans: {len(spans)} recorded, {len(phases)} distinct phases")
+    if phases:
+        lines.append("")
+        lines.append(
+            f"{'phase':<56} {'count':>6} {'total':>9} {'self':>9}"
+        )
+        shown = phases[:top] if top > 0 else phases
+        for phase in shown:
+            indent = "  " * phase.depth
+            label = indent + phase.path.rsplit("/", 1)[-1]
+            if len(label) > 56:
+                label = label[:53] + "..."
+            lines.append(
+                f"{label:<56} {phase.count:>6} "
+                f"{_format_seconds(phase.total_s):>9} "
+                f"{_format_seconds(phase.self_s):>9}"
+            )
+        if top > 0 and len(phases) > top:
+            lines.append(f"... {len(phases) - top} more phase(s)")
+    metrics = document.get("metrics", {})
+    if metrics:
+        lines.append("")
+        lines.append(f"metrics: {len(metrics)}")
+        for name, entry in sorted(metrics.items()):
+            kind = entry.get("type", "?")
+            if kind == "histogram":
+                value = (
+                    f"count={entry.get('count')} mean={entry.get('mean'):.6g} "
+                    f"min={entry.get('min')} max={entry.get('max')}"
+                )
+            else:
+                value = f"{entry.get('value')}"
+            lines.append(f"  {name:<44} {kind:<9} {value}")
+    environment = document.get("environment", {})
+    if environment:
+        lines.append("")
+        lines.append(
+            "environment: "
+            + ", ".join(f"{key}={environment[key]}" for key in sorted(environment))
+        )
+    return "\n".join(lines)

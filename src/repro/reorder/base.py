@@ -19,6 +19,7 @@ import numpy as np
 from repro.errors import ReorderingError
 from repro.graph.graph import Graph
 from repro.graph.permute import check_permutation
+from repro.obs import span
 
 __all__ = ["ReorderResult", "ReorderingAlgorithm"]
 
@@ -56,7 +57,12 @@ class ReorderingAlgorithm(ABC):
         if track_memory:
             tracemalloc.start()
         start = time.perf_counter()
-        relabeling = self.compute(graph, details)
+        with span(
+            f"reorder.{self.name}",
+            vertices=graph.num_vertices,
+            edges=graph.num_edges,
+        ):
+            relabeling = self.compute(graph, details)
         elapsed = time.perf_counter() - start
         peak = 0
         if track_memory:

@@ -21,6 +21,7 @@ from repro.graph.permute import (
     sort_order_to_relabeling,
 )
 
+from repro.obs import span
 from repro.reorder.base import ReorderingAlgorithm
 
 __all__ = ["Identity", "RandomOrder", "DegreeSort", "BFSOrder"]
@@ -89,23 +90,25 @@ class BFSOrder(ReorderingAlgorithm):
         seed_cursor = 0
         num_components = 0
         queue: deque[int] = deque()
-        while cursor < n:
-            while seed_cursor < n and visited[by_degree[seed_cursor]]:
-                seed_cursor += 1
-            root = int(by_degree[seed_cursor])
-            num_components += 1
-            visited[root] = True
-            queue.append(root)
-            while queue:
-                v = queue.popleft()
-                order[cursor] = v
-                cursor += 1
-                neighbours = np.concatenate(
-                    [out_adj.neighbours(v), in_adj.neighbours(v)]
-                )
-                for u in np.unique(neighbours).tolist():
-                    if not visited[u]:
-                        visited[u] = True
-                        queue.append(u)
+        with span("reorder.bfs.traverse") as sp:
+            while cursor < n:
+                while seed_cursor < n and visited[by_degree[seed_cursor]]:
+                    seed_cursor += 1
+                root = int(by_degree[seed_cursor])
+                num_components += 1
+                visited[root] = True
+                queue.append(root)
+                while queue:
+                    v = queue.popleft()
+                    order[cursor] = v
+                    cursor += 1
+                    neighbours = np.concatenate(
+                        [out_adj.neighbours(v), in_adj.neighbours(v)]
+                    )
+                    for u in np.unique(neighbours).tolist():
+                        if not visited[u]:
+                            visited[u] = True
+                            queue.append(u)
+            sp.set(components=num_components)
         details["num_components_visited"] = num_components
         return sort_order_to_relabeling(order)

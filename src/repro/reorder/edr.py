@@ -23,6 +23,7 @@ from repro.graph.graph import Graph
 from repro.graph.permute import invert_permutation, sort_order_to_relabeling
 
 from repro.core.missdist import MissRateDistribution
+from repro.obs import span
 from repro.reorder.base import ReorderingAlgorithm
 
 __all__ = ["EDRRestricted", "efficacy_degree_range"]
@@ -69,17 +70,18 @@ class EDRRestricted(ReorderingAlgorithm):
             return np.arange(graph.num_vertices, dtype=np.int64)
 
         # Pass only the edges between in-range vertices to the base RA.
-        src, dst = graph.edges()
-        keep = mask[src] & mask[dst]
-        local_id = np.full(graph.num_vertices, -1, dtype=np.int64)
-        local_id[members] = np.arange(members.shape[0], dtype=np.int64)
-        built = build_graph(
-            members.shape[0],
-            local_id[src[keep]],
-            local_id[dst[keep]],
-            drop_zero_degree=True,
-            dedup=False,
-        )
+        with span("reorder.edr.extract", in_range=int(members.shape[0])):
+            src, dst = graph.edges()
+            keep = mask[src] & mask[dst]
+            local_id = np.full(graph.num_vertices, -1, dtype=np.int64)
+            local_id[members] = np.arange(members.shape[0], dtype=np.int64)
+            built = build_graph(
+                members.shape[0],
+                local_id[src[keep]],
+                local_id[dst[keep]],
+                drop_zero_degree=True,
+                dedup=False,
+            )
         if built.graph.num_vertices == 0:
             return np.arange(graph.num_vertices, dtype=np.int64)
         sub_result = self.base(built.graph)

@@ -27,6 +27,7 @@ import numpy as np
 from repro.errors import ReorderingError
 from repro.graph.graph import Graph
 from repro.graph.permute import sort_order_to_relabeling
+from repro.obs import span
 
 from repro.reorder.base import ReorderingAlgorithm
 
@@ -114,36 +115,39 @@ class GOrder(ReorderingAlgorithm):
         start = int(np.argmax(total_deg))
         cursor = 0
         current = start
-        while True:
-            order[cursor] = current
-            cursor += 1
-            placed[current] = True
-            score[current] = -np.inf
-            if cursor == n:
-                break
+        # One span for the whole greedy pass: the loop body is per-vertex
+        # hot, so per-iteration spans would distort what they measure.
+        with span("reorder.gorder.greedy", huge_threshold=threshold):
+            while True:
+                order[cursor] = current
+                cursor += 1
+                placed[current] = True
+                score[current] = -np.inf
+                if cursor == n:
+                    break
 
-            window.append(current)
-            np.add.at(score, contributions(current), 1.0)
-            if self.adaptive:
-                # Grow while placing LDV, shrink when a hub enters.
-                if total_deg[current] <= average_degree:
-                    window_size = min(window_size + 1, self.max_window)
-                else:
-                    window_size = max(self.window, window_size - 2)
-                max_window_seen = max(max_window_seen, window_size)
-            while len(window) > window_size:
-                leaver = window.popleft()
-                np.add.at(score, contributions(leaver), -1.0)
-                score[leaver] = -np.inf  # keep placed vertices masked
+                window.append(current)
+                np.add.at(score, contributions(current), 1.0)
+                if self.adaptive:
+                    # Grow while placing LDV, shrink when a hub enters.
+                    if total_deg[current] <= average_degree:
+                        window_size = min(window_size + 1, self.max_window)
+                    else:
+                        window_size = max(self.window, window_size - 2)
+                    max_window_seen = max(max_window_seen, window_size)
+                while len(window) > window_size:
+                    leaver = window.popleft()
+                    np.add.at(score, contributions(leaver), -1.0)
+                    score[leaver] = -np.inf  # keep placed vertices masked
 
-            best = int(np.argmax(score))
-            if placed[best]:
-                # Every unplaced vertex scored -inf cannot happen (only
-                # placed ones are masked), but argmax may land on a
-                # placed vertex when all remaining scores are 0 and the
-                # mask is -inf; fall back to the first unplaced vertex.
-                best = int(np.flatnonzero(~placed)[0])
-            current = best
+                best = int(np.argmax(score))
+                if placed[best]:
+                    # Every unplaced vertex scored -inf cannot happen (only
+                    # placed ones are masked), but argmax may land on a
+                    # placed vertex when all remaining scores are 0 and the
+                    # mask is -inf; fall back to the first unplaced vertex.
+                    best = int(np.flatnonzero(~placed)[0])
+                current = best
 
         details["window"] = self.window
         details["huge_threshold"] = threshold

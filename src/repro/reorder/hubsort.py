@@ -22,6 +22,7 @@ import numpy as np
 from repro.errors import ReorderingError
 from repro.graph.graph import Graph
 from repro.graph.permute import sort_order_to_relabeling
+from repro.obs import span
 
 from repro.reorder.base import ReorderingAlgorithm
 
@@ -36,12 +37,14 @@ class _HubAware(ReorderingAlgorithm):
         self.hub_threshold = hub_threshold
 
     def _split(self, graph: Graph) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
-        degrees = graph._degrees(self.direction)
-        threshold = self.hub_threshold
-        if threshold is None:
-            threshold = graph.average_degree
-        hubs = np.flatnonzero(degrees > threshold)
-        others = np.flatnonzero(degrees <= threshold)
+        with span(f"reorder.{self.name}.split") as sp:
+            degrees = graph._degrees(self.direction)
+            threshold = self.hub_threshold
+            if threshold is None:
+                threshold = graph.average_degree
+            hubs = np.flatnonzero(degrees > threshold)
+            others = np.flatnonzero(degrees <= threshold)
+            sp.set(hubs=int(hubs.shape[0]))
         return degrees, hubs, others
 
 

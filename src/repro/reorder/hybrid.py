@@ -22,6 +22,7 @@ import numpy as np
 from repro.graph.build import build_graph
 from repro.graph.graph import Graph
 from repro.graph.permute import sort_order_to_relabeling, invert_permutation
+from repro.obs import span
 
 from repro.reorder.base import ReorderingAlgorithm
 from repro.reorder.gorder import GOrder
@@ -44,12 +45,14 @@ class HybridOrder(ReorderingAlgorithm):
         threshold = 2.0 * graph.average_degree  # in+out vs |E|/|V|
         hdv_mask = degrees > threshold
 
-        hdv_order = _suborder(
-            graph, hdv_mask, GOrder(window=self.window), details, "hdv"
-        )
-        ldv_order = _suborder(
-            graph, ~hdv_mask, RabbitOrder(seed=self.seed), details, "ldv"
-        )
+        with span("reorder.hybrid.hdv"):
+            hdv_order = _suborder(
+                graph, hdv_mask, GOrder(window=self.window), details, "hdv"
+            )
+        with span("reorder.hybrid.ldv"):
+            ldv_order = _suborder(
+                graph, ~hdv_mask, RabbitOrder(seed=self.seed), details, "ldv"
+            )
         order = np.concatenate([hdv_order, ldv_order])
         details["num_hdv"] = int(hdv_mask.sum())
         return sort_order_to_relabeling(order)

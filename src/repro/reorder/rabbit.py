@@ -26,6 +26,7 @@ import numpy as np
 from repro.errors import ReorderingError
 from repro.graph.graph import Graph
 from repro.graph.permute import sort_order_to_relabeling
+from repro.obs import span
 
 from repro.reorder.base import ReorderingAlgorithm
 
@@ -63,7 +64,8 @@ class RabbitOrder(ReorderingAlgorithm):
 
         # Undirected weighted adjacency (directions merged, weight = edge
         # multiplicity); self-loops contribute to the self weight.
-        adjacency, self_weight, strength = _undirected_adjacency(graph)
+        with span("reorder.rabbit.adjacency"):
+            adjacency, self_weight, strength = _undirected_adjacency(graph)
         total_weight = float(graph.num_edges)  # m in the gain formula
         two_m = 2.0 * total_weight
 
@@ -86,52 +88,55 @@ class RabbitOrder(ReorderingAlgorithm):
 
         cap = self.max_community_weight
         num_merges = 0
-        for v in visit_order.tolist():
-            if find(v) != v:
-                continue  # already absorbed into another community
-            # Resolve v's adjacency through the union-find, folding edges
-            # that became internal into the self weight.
-            resolved: dict[int, float] = {}
-            internal = 0.0
-            for u, w in adjacency[v].items():
-                root = find(u)
-                if root == v:
-                    internal += w
-                else:
-                    resolved[root] = resolved.get(root, 0.0) + w
-            self_weight[v] += internal
-            adjacency[v] = resolved
+        with span("reorder.rabbit.merge") as merge_span:
+            for v in visit_order.tolist():
+                if find(v) != v:
+                    continue  # already absorbed into another community
+                # Resolve v's adjacency through the union-find, folding edges
+                # that became internal into the self weight.
+                resolved: dict[int, float] = {}
+                internal = 0.0
+                for u, w in adjacency[v].items():
+                    root = find(u)
+                    if root == v:
+                        internal += w
+                    else:
+                        resolved[root] = resolved.get(root, 0.0) + w
+                self_weight[v] += internal
+                adjacency[v] = resolved
 
-            best_gain = 0.0
-            best: int | None = None
-            deg_v = strength[v]
-            for u, w in resolved.items():
-                if cap is not None and strength[u] + deg_v > cap:
+                best_gain = 0.0
+                best: int | None = None
+                deg_v = strength[v]
+                for u, w in resolved.items():
+                    if cap is not None and strength[u] + deg_v > cap:
+                        continue
+                    gain = 2.0 * (w / two_m - (strength[u] * deg_v) / (two_m * two_m))
+                    if gain > best_gain:
+                        best_gain = gain
+                        best = u
+                if best is None:
+                    top_level.append(v)
                     continue
-                gain = 2.0 * (w / two_m - (strength[u] * deg_v) / (two_m * two_m))
-                if gain > best_gain:
-                    best_gain = gain
-                    best = u
-            if best is None:
-                top_level.append(v)
-                continue
 
-            # Merge v into best: the union-find makes edges pointing at v
-            # resolve to best lazily; adjacency dicts are combined here.
-            parent[v] = best
-            children[best].append(v)
-            num_merges += 1
-            target = adjacency[best]
-            for u, w in resolved.items():
-                if u == best:
-                    self_weight[best] += self_weight[v] + 2.0 * w
-                else:
-                    target[u] = target.get(u, 0.0) + w
-            target.pop(v, None)
-            strength[best] += strength[v]
-            adjacency[v] = {}
+                # Merge v into best: the union-find makes edges pointing at v
+                # resolve to best lazily; adjacency dicts are combined here.
+                parent[v] = best
+                children[best].append(v)
+                num_merges += 1
+                target = adjacency[best]
+                for u, w in resolved.items():
+                    if u == best:
+                        self_weight[best] += self_weight[v] + 2.0 * w
+                    else:
+                        target[u] = target.get(u, 0.0) + w
+                target.pop(v, None)
+                strength[best] += strength[v]
+                adjacency[v] = {}
+            merge_span.set(merges=num_merges)
 
-        order = _dfs_order(n, children, top_level)
+        with span("reorder.rabbit.dfs"):
+            order = _dfs_order(n, children, top_level)
         details["num_top_level"] = len(top_level)
         details["num_merges"] = num_merges
         return sort_order_to_relabeling(order)

@@ -19,6 +19,7 @@ import numpy as np
 
 from repro.graph.graph import Graph
 from repro.graph.permute import sort_order_to_relabeling
+from repro.obs import span
 
 from repro.reorder.base import ReorderingAlgorithm
 
@@ -43,30 +44,35 @@ class ReverseCuthillMcKee(ReorderingAlgorithm):
         seeds = np.argsort(degrees, kind="stable")
         seed_cursor = 0
         num_components = 0
-        while cursor < n:
-            while visited[seeds[seed_cursor]]:
-                seed_cursor += 1
-            root = int(seeds[seed_cursor])
-            num_components += 1
-            visited[root] = True
-            # Heap keyed by (BFS discovery index, degree) so each level
-            # is emitted in increasing-degree order.
-            heap: list[tuple[int, int, int]] = [(0, int(degrees[root]), root)]
-            discovery = 1
-            while heap:
-                _, __, v = heapq.heappop(heap)
-                order[cursor] = v
-                cursor += 1
-                neighbours = np.unique(
-                    np.concatenate(
-                        [out_adj.neighbours(v), in_adj.neighbours(v)]
+        # One span over all component BFSes: power-law graphs have
+        # thousands of tiny components, so per-component spans would
+        # swamp the trace.
+        with span("reorder.rcm.bfs") as bfs_span:
+            while cursor < n:
+                while visited[seeds[seed_cursor]]:
+                    seed_cursor += 1
+                root = int(seeds[seed_cursor])
+                num_components += 1
+                visited[root] = True
+                # Heap keyed by (BFS discovery index, degree) so each level
+                # is emitted in increasing-degree order.
+                heap: list[tuple[int, int, int]] = [(0, int(degrees[root]), root)]
+                discovery = 1
+                while heap:
+                    _, __, v = heapq.heappop(heap)
+                    order[cursor] = v
+                    cursor += 1
+                    neighbours = np.unique(
+                        np.concatenate(
+                            [out_adj.neighbours(v), in_adj.neighbours(v)]
+                        )
                     )
-                )
-                for u in neighbours.tolist():
-                    if not visited[u]:
-                        visited[u] = True
-                        heapq.heappush(heap, (discovery, int(degrees[u]), u))
-                discovery += 1
+                    for u in neighbours.tolist():
+                        if not visited[u]:
+                            visited[u] = True
+                            heapq.heappush(heap, (discovery, int(degrees[u]), u))
+                    discovery += 1
+            bfs_span.set(components=num_components)
 
         details["num_components"] = num_components
         return sort_order_to_relabeling(order[::-1].copy())

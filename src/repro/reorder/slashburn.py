@@ -25,6 +25,8 @@ from repro.errors import ReorderingError
 from repro.graph.components import connected_components
 from repro.graph.graph import Graph
 from repro.graph.permute import sort_order_to_relabeling
+from repro.obs import metrics as obs_metrics
+from repro.obs import span
 
 from repro.reorder.base import ReorderingAlgorithm
 
@@ -124,26 +126,28 @@ class SlashBurn(ReorderingAlgorithm):
                 break
             iteration += 1
 
-            # Slash: remove the k highest-degree active vertices, giving
-            # them the next lowest IDs in decreasing degree order.
-            hubs = _top_k_active(degrees, active, k)
-            order[front : front + hubs.shape[0]] = hubs
-            front += hubs.shape[0]
-            active[hubs] = False
+            with span("reorder.slashburn.iteration", iteration=iteration) as sp:
+                # Slash: remove the k highest-degree active vertices, giving
+                # them the next lowest IDs in decreasing degree order.
+                hubs = _top_k_active(degrees, active, k)
+                order[front : front + hubs.shape[0]] = hubs
+                front += hubs.shape[0]
+                active[hubs] = False
 
-            # Burn: find components of the remainder; non-giant component
-            # vertices move to the highest remaining IDs.
-            result = connected_components(n, src, dst, active=active)
-            if result.num_components == 0:
-                break
-            gcc = result.giant_component_id(by="edges")
-            spokes_mask = active & (result.labels != gcc)
-            spokes = np.flatnonzero(spokes_mask)
-            if spokes.size:
-                block = _spoke_order(spokes, result.labels, result.sizes, degrees)
-                order[back - block.shape[0] + 1 : back + 1] = block
-                back -= block.shape[0]
-                active[spokes] = False
+                # Burn: find components of the remainder; non-giant component
+                # vertices move to the highest remaining IDs.
+                result = connected_components(n, src, dst, active=active)
+                if result.num_components == 0:
+                    break
+                gcc = result.giant_component_id(by="edges")
+                spokes_mask = active & (result.labels != gcc)
+                spokes = np.flatnonzero(spokes_mask)
+                if spokes.size:
+                    block = _spoke_order(spokes, result.labels, result.sizes, degrees)
+                    order[back - block.shape[0] + 1 : back + 1] = block
+                    back -= block.shape[0]
+                    active[spokes] = False
+                sp.set(hubs=int(hubs.shape[0]), spokes=int(spokes.size))
 
             if self.record_iterations:
                 iterations.append(
@@ -163,6 +167,7 @@ class SlashBurn(ReorderingAlgorithm):
 
         details["num_iterations"] = iteration
         details["k"] = k
+        obs_metrics.registry.counter("reorder.iterations").inc(iteration)
         if self.record_iterations:
             details["iterations"] = iterations
         if front != back + 1:

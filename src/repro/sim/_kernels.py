@@ -73,6 +73,8 @@ from typing import TYPE_CHECKING, List, Optional, Tuple
 import numpy as np
 
 from repro.errors import SimulationError
+from repro.obs import metrics as _obs_metrics
+from repro.obs import span as _obs_span
 
 if TYPE_CHECKING:  # pragma: no cover - cache.py imports this module
     from repro.sim.cache import CacheConfig, SetAssociativeCache
@@ -854,6 +856,25 @@ def kernel_simulate(
     num_sets, ways = config.num_sets, config.ways
     n = lines.shape[0]
 
+    with _obs_span("sim.kernel", policy=policy, accesses=n) as sp:
+        result = _kernel_simulate_inner(
+            cache, lines, scan_interval, policy, num_sets, ways, n
+        )
+        if result is None:
+            sp.set(declined=True)
+            _obs_metrics.registry.counter("cache.kernel_declined").inc()
+    return result
+
+
+def _kernel_simulate_inner(
+    cache: SetAssociativeCache,
+    lines: np.ndarray,
+    scan_interval: int,
+    policy: str,
+    num_sets: int,
+    ways: int,
+    n: int,
+) -> Optional[Tuple[np.ndarray, List[Tuple[int, np.ndarray]]]]:
     state_tags, state_rrpv = _state_arrays(cache)
     psel = cache._psel
     cursor = cache._draw_cursor

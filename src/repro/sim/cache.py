@@ -19,6 +19,8 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.errors import SimulationError
+from repro.obs import enabled as _obs_enabled
+from repro.obs import metrics as _obs_metrics
 from repro.sim import _kernels
 
 __all__ = ["CacheConfig", "CacheSnapshot", "SetAssociativeCache", "count_cold_misses"]
@@ -205,6 +207,10 @@ class SetAssociativeCache:
             argument (escape hatch); both paths are bit-exact.
         """
         lines = np.asarray(lines, dtype=np.int64)
+        # One guarded per-batch increment; the per-access loops below
+        # stay uninstrumented so the disabled path is untouched.
+        if _obs_enabled():
+            _obs_metrics.registry.counter("cache.accesses").inc(lines.shape[0])
         mode = _kernels.kernel_mode(kernel)
         if mode != "reference" and _kernels.kernel_possible(self.config, lines):
             if mode == "kernel" or _kernels.kernel_profitable(
@@ -213,6 +219,8 @@ class SetAssociativeCache:
                 res = _kernels.kernel_simulate(self, lines, scan_interval)
                 if res is not None:
                     hits, raw_snaps = res
+                    if _obs_enabled():
+                        _obs_metrics.registry.counter("cache.kernel_batches").inc()
                     return SimulatedAccesses(
                         hits=hits,
                         snapshots=[
@@ -220,6 +228,8 @@ class SetAssociativeCache:
                             for idx, resident in raw_snaps
                         ],
                     )
+        if _obs_enabled():
+            _obs_metrics.registry.counter("cache.reference_batches").inc()
         return self._simulate_reference(lines, scan_interval)
 
     def _simulate_reference(

@@ -19,6 +19,9 @@ import numpy as np
 
 from repro.errors import SimulationError
 from repro.graph.graph import Graph
+from repro.obs import enabled as obs_enabled
+from repro.obs import metrics as obs_metrics
+from repro.obs import span
 
 from repro.sim.address_space import AddressSpace, Region
 from repro.sim.cache import CacheConfig, CacheSnapshot, SetAssociativeCache
@@ -220,31 +223,49 @@ def simulate_spmv(
     elif scaled_kwargs:
         raise SimulationError("pass either a config or scaling kwargs, not both")
 
-    space = AddressSpace(
-        graph.num_vertices, graph.num_edges, line_size=config.cache.line_size
-    )
-    boundaries = edge_balanced_partitions(
-        graph, config.num_threads, direction=config.direction
-    )
-    traces = [
-        spmv_trace(
-            graph,
-            space,
-            direction=config.direction,
-            vertex_range=(int(boundaries[t]), int(boundaries[t + 1])),
-            promote_sequential=config.promote_sequential,
-        )
-        for t in range(config.num_threads)
-    ]
-    merged, thread_ids = interleave_traces(traces, config.interleave_interval)
+    with span(
+        "sim.spmv",
+        vertices=graph.num_vertices,
+        edges=graph.num_edges,
+        policy=config.cache.policy,
+        threads=config.num_threads,
+    ):
+        with span("sim.partition"):
+            space = AddressSpace(
+                graph.num_vertices, graph.num_edges, line_size=config.cache.line_size
+            )
+            boundaries = edge_balanced_partitions(
+                graph, config.num_threads, direction=config.direction
+            )
+        with span("sim.trace"):
+            traces = [
+                spmv_trace(
+                    graph,
+                    space,
+                    direction=config.direction,
+                    vertex_range=(int(boundaries[t]), int(boundaries[t + 1])),
+                    promote_sequential=config.promote_sequential,
+                )
+                for t in range(config.num_threads)
+            ]
+        with span("sim.interleave"):
+            merged, thread_ids = interleave_traces(traces, config.interleave_interval)
 
-    cache = SetAssociativeCache(config.cache)
-    outcome = cache.simulate(merged.lines, scan_interval=config.scan_interval)
-    tlb_misses = 0
-    if config.tlb is not None:
-        tlb_misses = simulate_tlb(
-            merged.lines, config.cache.line_size, config.tlb
-        ).num_misses
+        cache = SetAssociativeCache(config.cache)
+        with span("sim.cache", accesses=len(merged)):
+            outcome = cache.simulate(merged.lines, scan_interval=config.scan_interval)
+        tlb_misses = 0
+        if config.tlb is not None:
+            with span("sim.tlb"):
+                tlb_misses = simulate_tlb(
+                    merged.lines, config.cache.line_size, config.tlb
+                ).num_misses
+        if obs_enabled():
+            obs_metrics.registry.counter("sim.accesses").inc(len(merged))
+            obs_metrics.registry.counter("sim.l3_misses").inc(
+                len(merged) - int(outcome.hits.sum())
+            )
+            obs_metrics.registry.counter("sim.tlb_misses").inc(tlb_misses)
 
     return SimulationResult(
         graph=graph,

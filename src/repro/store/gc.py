@@ -14,6 +14,8 @@ import json
 from dataclasses import dataclass, field
 
 from repro.errors import StoreError
+from repro.obs import metrics as obs_metrics
+from repro.obs import span
 from repro.store.store import ArtifactInfo, ArtifactStore
 
 __all__ = ["VerifyIssue", "VerifyReport", "GCReport", "verify_store", "collect_garbage"]
@@ -101,27 +103,32 @@ def collect_garbage(store: ArtifactStore, max_bytes: int) -> GCReport:
     """
     if max_bytes < 0:
         raise StoreError(f"max_bytes must be non-negative, got {max_bytes}")
-    infos = store.infos()
-    report = GCReport(scanned=len(infos))
-    report.bytes_before = sum(info.size_bytes for info in infos)
-    # Most recently used first: fill the budget, evict the LRU tail.
-    by_recency = sorted(infos, key=lambda info: info.last_access_at, reverse=True)
-    kept_bytes = 0
-    for info in by_recency:
-        if kept_bytes + info.size_bytes <= max_bytes or info.pinned:
-            if info.pinned and kept_bytes + info.size_bytes > max_bytes:
+    with span("store.gc", max_bytes=max_bytes):
+        infos = store.infos()
+        report = GCReport(scanned=len(infos))
+        report.bytes_before = sum(info.size_bytes for info in infos)
+        # Most recently used first: fill the budget, evict the LRU tail.
+        by_recency = sorted(infos, key=lambda info: info.last_access_at, reverse=True)
+        kept_bytes = 0
+        for info in by_recency:
+            if kept_bytes + info.size_bytes <= max_bytes or info.pinned:
+                if info.pinned and kept_bytes + info.size_bytes > max_bytes:
+                    report.skipped_pinned += 1
+                kept_bytes += info.size_bytes
+                continue
+            try:
+                removed = store.remove(info.key, info.kind)
+            except StoreError:  # pinned between the check and the unlink
                 report.skipped_pinned += 1
-            kept_bytes += info.size_bytes
-            continue
-        try:
-            removed = store.remove(info.key, info.kind)
-        except StoreError:  # pinned between the check and the unlink
-            report.skipped_pinned += 1
-            kept_bytes += info.size_bytes
-            continue
-        if removed:
-            report.evicted.append((info.kind, info.key))
-        else:
-            kept_bytes += info.size_bytes
-    report.bytes_after = kept_bytes
+                kept_bytes += info.size_bytes
+                continue
+            if removed:
+                report.evicted.append((info.kind, info.key))
+            else:
+                kept_bytes += info.size_bytes
+        report.bytes_after = kept_bytes
+    obs_metrics.registry.counter("store.gc_evicted").inc(len(report.evicted))
+    obs_metrics.registry.counter("store.gc_freed_bytes").inc(
+        max(0, report.bytes_before - report.bytes_after)
+    )
     return report

@@ -40,6 +40,7 @@ def environment_snapshot() -> dict:
 
     from repro import __version__
     from repro.generate.datasets import scale_factor
+    from repro.obs import enabled as trace_enabled
     from repro.sim._kernels import kernel_mode
 
     return {
@@ -50,6 +51,7 @@ def environment_snapshot() -> dict:
         "kernel_mode": kernel_mode(),
         "repro_scale": scale_factor(),
         "code_version": code_version("repro"),
+        "trace_enabled": trace_enabled(),
     }
 
 
@@ -150,6 +152,9 @@ class RunManifest:
     # -- persistence -------------------------------------------------------
 
     def to_dict(self) -> dict:
+        from repro.obs import enabled as _trace_enabled
+        from repro.obs import metrics as _obs_metrics
+
         totals = self.counts()
         return {
             "version": 1,
@@ -158,6 +163,8 @@ class RunManifest:
             "environment": self.environment,
             "totals": totals,
             "records": [entry.to_dict() for entry in self.records],
+            # Point-in-time metrics snapshot; empty unless tracing is on.
+            "metrics": _obs_metrics.registry.snapshot() if _trace_enabled() else {},
         }
 
     def save(self, store: ArtifactStore) -> Path:

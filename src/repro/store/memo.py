@@ -29,6 +29,8 @@ import time
 from typing import Any, Callable, Optional
 
 from repro.errors import StoreError
+from repro.obs import metrics as obs_metrics
+from repro.obs import span
 from repro.store.fingerprint import code_version, fingerprint
 from repro.store.manifest import RunManifest
 from repro.store.store import ArtifactStore
@@ -74,7 +76,8 @@ def cached_stage(
         ) -> Any:
             if store is None:
                 start = time.perf_counter()
-                result = fn(*args, **kwargs)
+                with span(f"store.{kind}", outcome="uncached"):
+                    result = fn(*args, **kwargs)
                 if manifest is not None:
                     manifest.record(
                         kind, "", "computed", time.perf_counter() - start
@@ -83,7 +86,7 @@ def cached_stage(
             params = key(*args, **kwargs)
             version = code_version(*code)
             content_key = fingerprint(kind, params, version)
-            with store.pin(content_key, kind):
+            with span(f"store.{kind}") as stage_span, store.pin(content_key, kind):
                 if not refresh:
                     start = time.perf_counter()
                     stored = store.get(content_key, kind)
@@ -93,6 +96,8 @@ def cached_stage(
                             if decode is not None
                             else stored
                         )
+                        stage_span.set(outcome="hit")
+                        obs_metrics.registry.counter("store.hit").inc()
                         if manifest is not None:
                             manifest.record(
                                 kind,
@@ -123,6 +128,8 @@ def cached_stage(
                         "duration_s": duration,
                     },
                 )
+                stage_span.set(outcome="refreshed" if refresh else "computed")
+                obs_metrics.registry.counter("store.miss").inc()
                 if manifest is not None:
                     manifest.record(
                         kind,

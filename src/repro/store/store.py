@@ -37,6 +37,7 @@ from pathlib import Path
 from typing import Any, Iterator, Optional, Union
 
 from repro.errors import StoreError
+from repro.obs import metrics as obs_metrics
 from repro.store.serializers import get_serializer
 
 __all__ = ["STORE_DIR_ENV", "default_store_dir", "ArtifactInfo", "ArtifactStore"]
@@ -148,6 +149,7 @@ class ArtifactStore:
             for leftover in (payload_tmp, meta_tmp):
                 with contextlib.suppress(OSError):
                     leftover.unlink()
+        obs_metrics.registry.counter("store.put_bytes").inc(int(meta["size_bytes"]))
         return ArtifactInfo(
             key=key,
             kind=kind,
@@ -196,6 +198,9 @@ class ArtifactStore:
             return None
         with contextlib.suppress(OSError):
             os.utime(payload)
+        obs_metrics.registry.counter("store.get_bytes").inc(
+            payload.stat().st_size if payload.exists() else 0
+        )
         return obj
 
     def info(self, key: str, kind: str) -> Optional[ArtifactInfo]:
@@ -259,10 +264,12 @@ class ArtifactStore:
                 with contextlib.suppress(OSError):
                     os.replace(source, destination / source.name)
                     moved = True
-        if moved and reason:
-            note = destination / f"{key}.reason.txt"
-            with contextlib.suppress(OSError):
-                note.write_text(reason + "\n", encoding="utf-8")
+        if moved:
+            obs_metrics.registry.counter("store.quarantined").inc()
+            if reason:
+                note = destination / f"{key}.reason.txt"
+                with contextlib.suppress(OSError):
+                    note.write_text(reason + "\n", encoding="utf-8")
         return destination
 
     @contextlib.contextmanager

@@ -13,7 +13,24 @@ from repro.generate import (
     social_network,
     web_graph,
 )
+from repro.generate.rmat import rmat_edges
 from repro.graph import Graph, build_graph
+
+
+def pytest_addoption(parser: pytest.Parser) -> None:
+    parser.addoption(
+        "--update-golden",
+        action="store_true",
+        default=False,
+        help="rewrite tests/golden/*.json fixtures from the current code "
+        "instead of comparing against them",
+    )
+
+
+@pytest.fixture(scope="session")
+def update_golden(request: pytest.FixtureRequest) -> bool:
+    """True when ``--update-golden`` was passed (regenerate fixtures)."""
+    return bool(request.config.getoption("--update-golden"))
 
 
 @pytest.fixture
@@ -73,3 +90,16 @@ def small_social() -> Graph:
 def small_web() -> Graph:
     """Small web-graph analogue (session-scoped)."""
     return web_graph(num_vertices=2048, average_degree=12, seed=8, name="web")
+
+
+@pytest.fixture(scope="session")
+def golden_rmat() -> Graph:
+    """Seeded RMAT graph the golden-number fixtures are pinned to.
+
+    Built directly from :func:`rmat_edges` (not the scaled dataset
+    registry), so the committed fixtures are independent of
+    ``REPRO_SCALE``.  Do not change these parameters without
+    regenerating ``tests/golden/`` via ``--update-golden``.
+    """
+    src, dst = rmat_edges(8, 2048, seed=3)
+    return build_graph(256, src, dst, name="golden-rmat").graph

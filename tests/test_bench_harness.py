@@ -43,6 +43,7 @@ class TestRegistry:
 
 
 class TestWorkloadCache:
+    @pytest.mark.slow
     def test_graph_cached(self):
         w = Workloads()
         assert w.graph("sk-mini") is w.graph("sk-mini")
@@ -54,10 +55,12 @@ class TestWorkloadCache:
         with pytest.raises(ExperimentError):
             w.family("unknown")
 
+    @pytest.mark.slow
     def test_identity_reordered_graph_is_original(self):
         w = Workloads()
         assert w.reordered_graph("sk-mini", "identity") is w.graph("sk-mini")
 
+    @pytest.mark.slow
     def test_clear(self):
         w = Workloads()
         w.graph("sk-mini")

@@ -1,0 +1,244 @@
+"""Property tests for the BRRIP/DRRIP reference simulator paths.
+
+PR 2's kernel tests compare the vectorized kernels against the reference
+loop, but LRU/SRRIP dominated its coverage and both sides share the
+repo's implementation.  Here the reference loop is checked against an
+*independent* brute-force RRIP oracle written straight from the DRRIP
+paper [Jaleel et al., ISCA'10]: per-set (tag, rrpv) pair lists, linear
+victim scan, explicit aging, and a plainly-coded set-dueling PSEL.
+
+Alongside bit-exactness, the oracle asserts the DRRIP structural
+invariants on every access: the dueling counter stays saturated inside
+``[0, PSEL_MAX]``, leaders update it in the right direction, and the
+SRRIP/BRRIP leader sets are disjoint.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.cache import (
+    _BRRIP_LONG_PROB,
+    _DUEL_PERIOD,
+    _PSEL_INIT,
+    _PSEL_MAX,
+    _RRPV_MAX,
+    CacheConfig,
+    SetAssociativeCache,
+)
+
+
+def _leader_roles(num_sets: int, policy: str) -> list:
+    """Set-dueling role layout (0 follower, 1 SRRIP leader, 2 BRRIP)."""
+    roles = [0] * num_sets
+    for s in range(0, num_sets, _DUEL_PERIOD):
+        roles[s] = 1
+        if s + 1 < num_sets:
+            roles[s + 1] = 2
+    if num_sets < 2 and policy == "drrip":
+        roles = [1] * num_sets
+    return roles
+
+
+class RRIPOracle:
+    """Brute-force RRIP simulator: one (tag, rrpv) pair list per set.
+
+    Deliberately structured differently from the repo implementation
+    (pair lists and linear scans instead of parallel tag/rrpv lists), so
+    a shared bug would have to be a shared misreading of the paper.
+    """
+
+    def __init__(self, num_sets: int, ways: int, policy: str, seed: int) -> None:
+        assert policy in ("srrip", "brrip", "drrip")
+        self.num_sets = num_sets
+        self.policy = policy
+        self.sets = [
+            [[-1, _RRPV_MAX] for _ in range(ways)] for _ in range(num_sets)
+        ]
+        self.psel = _PSEL_INIT
+        self.psel_seen = [self.psel]
+        self.draws = np.random.default_rng(seed).random(1 << 16)
+        self.cursor = 0
+        self.roles = _leader_roles(num_sets, policy)
+
+    def _insertion_uses_brrip(self, set_index: int) -> bool:
+        if self.policy == "srrip":
+            return False
+        if self.policy == "brrip":
+            return True
+        role = self.roles[set_index]
+        if role == 1:  # SRRIP leader: a miss here is a vote against SRRIP
+            self.psel = min(_PSEL_MAX, self.psel + 1)
+            self.psel_seen.append(self.psel)
+            return False
+        if role == 2:  # BRRIP leader
+            self.psel = max(0, self.psel - 1)
+            self.psel_seen.append(self.psel)
+            return True
+        return self.psel >= _PSEL_INIT
+
+    def access(self, line: int) -> bool:
+        ways = self.sets[line % self.num_sets]
+        for entry in ways:
+            if entry[0] == line:
+                entry[1] = 0
+                return True
+        # Victim: first way at RRPV max, aging everything until found.
+        while all(entry[1] < _RRPV_MAX for entry in ways):
+            for entry in ways:
+                entry[1] += 1
+        victim = next(entry for entry in ways if entry[1] == _RRPV_MAX)
+        if self._insertion_uses_brrip(line % self.num_sets):
+            draw = self.draws[self.cursor]
+            self.cursor = (self.cursor + 1) % self.draws.shape[0]
+            insert = _RRPV_MAX - 1 if draw < _BRRIP_LONG_PROB else _RRPV_MAX
+        else:
+            insert = _RRPV_MAX - 1
+        victim[0] = line
+        victim[1] = insert
+        return False
+
+    def simulate(self, lines: np.ndarray) -> np.ndarray:
+        return np.asarray([self.access(int(line)) for line in lines], dtype=np.uint8)
+
+
+geometries = st.tuples(
+    st.sampled_from([1, 2, 4, 8, 33, 64]),  # num_sets (33: ragged duel period)
+    st.sampled_from([1, 2, 3, 4, 8]),  # ways
+)
+
+
+def _random_trace(rng: np.random.Generator, n: int, space: int, skew: bool) -> np.ndarray:
+    if skew:
+        return ((rng.zipf(1.4, size=n) - 1) % space).astype(np.int64)
+    return rng.integers(0, space, size=n, dtype=np.int64)
+
+
+class TestOracleEquivalence:
+    @settings(max_examples=220, deadline=None)
+    @given(
+        policy=st.sampled_from(["brrip", "drrip"]),
+        geom=geometries,
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+        n=st.integers(min_value=1, max_value=512),
+        skew=st.booleans(),
+    )
+    def test_reference_matches_oracle(self, policy, geom, seed, n, skew):
+        num_sets, ways = geom
+        rng = np.random.default_rng(seed)
+        lines = _random_trace(rng, n, max(2, num_sets * ways * 4), skew)
+        config = CacheConfig(
+            num_sets=num_sets, ways=ways, policy=policy, seed=seed % 11
+        )
+        cache = SetAssociativeCache(config)
+        oracle = RRIPOracle(num_sets, ways, policy, seed=seed % 11)
+        # Degenerate DRRIP geometries collapse to SRRIP in the repo
+        # implementation; mirror the collapse via the role layout only.
+        result = cache.simulate(lines, kernel="reference")
+        oracle_hits = oracle.simulate(lines)
+        assert np.array_equal(result.hits, oracle_hits)
+        assert int(result.hits.sum()) == int(oracle_hits.sum())
+        assert cache._psel == oracle.psel
+        assert cache._draw_cursor == oracle.cursor
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        policy=st.sampled_from(["brrip", "drrip"]),
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+        n=st.integers(min_value=1, max_value=256),
+    )
+    def test_scalar_access_matches_oracle(self, policy, seed, n):
+        """The incremental ``access()`` path agrees access-by-access."""
+        rng = np.random.default_rng(seed)
+        config = CacheConfig(num_sets=8, ways=2, policy=policy, seed=seed % 5)
+        cache = SetAssociativeCache(config)
+        oracle = RRIPOracle(8, 2, policy, seed=seed % 5)
+        for line in _random_trace(rng, n, 64, skew=False).tolist():
+            assert cache.access(line) == oracle.access(line)
+            assert 0 <= cache._psel <= _PSEL_MAX
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+        n=st.integers(min_value=32, max_value=512),
+    )
+    def test_brrip_draw_consumption_equals_misses(self, seed, n):
+        """Every BRRIP miss consumes exactly one draw, hits consume none."""
+        rng = np.random.default_rng(seed)
+        config = CacheConfig(num_sets=4, ways=2, policy="brrip", seed=1)
+        cache = SetAssociativeCache(config)
+        lines = _random_trace(rng, n, 64, skew=False)
+        result = cache.simulate(lines, kernel="reference")
+        misses = int(lines.shape[0] - result.hits.sum())
+        assert cache._draw_cursor == misses % (1 << 16)
+
+
+class TestDRRIPInvariants:
+    @settings(max_examples=200, deadline=None)
+    @given(
+        geom=geometries,
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+        n=st.integers(min_value=1, max_value=512),
+        skew=st.booleans(),
+    )
+    def test_psel_saturation_bounds(self, geom, seed, n, skew):
+        """The dueling counter never escapes [0, PSEL_MAX] at any step."""
+        num_sets, ways = geom
+        rng = np.random.default_rng(seed)
+        oracle = RRIPOracle(num_sets, ways, "drrip", seed=0)
+        oracle.simulate(_random_trace(rng, n, max(2, num_sets * ways * 4), skew))
+        seen = oracle.psel_seen
+        assert min(seen) >= 0
+        assert max(seen) <= _PSEL_MAX
+        assert seen[0] == _PSEL_INIT
+
+    @settings(max_examples=50, deadline=None)
+    @given(num_sets=st.sampled_from([1, 2, 4, 32, 33, 64, 96, 100, 256]))
+    def test_leader_sets_disjoint_and_bounded(self, num_sets):
+        """SRRIP and BRRIP leader sets never overlap, one pair per period."""
+        cache = SetAssociativeCache(
+            CacheConfig(num_sets=num_sets, ways=2, policy="drrip")
+        )
+        roles = np.asarray(cache._role)
+        srrip_leaders = set(np.flatnonzero(roles == 1).tolist())
+        brrip_leaders = set(np.flatnonzero(roles == 2).tolist())
+        assert not srrip_leaders & brrip_leaders
+        periods = -(-num_sets // _DUEL_PERIOD)  # ceil division
+        if num_sets >= 2:
+            assert len(srrip_leaders) == periods
+            assert len(brrip_leaders) <= periods
+            # Followers are the vast majority for realistic geometries.
+            assert (roles == 0).sum() == num_sets - len(srrip_leaders) - len(
+                brrip_leaders
+            )
+        else:
+            # Degenerate geometry collapses to SRRIP-only behaviour.
+            assert srrip_leaders == set(range(num_sets))
+            assert not brrip_leaders
+
+    def test_leaders_steer_followers(self):
+        """A trace that thrashes SRRIP leaders flips followers to BRRIP.
+
+        Deterministic construction: hammer only the SRRIP-leader sets
+        with a cyclic working set larger than the set, driving PSEL up
+        past the midpoint; follower insertions must then use BRRIP.
+        """
+        num_sets, ways = 64, 2
+        config = CacheConfig(num_sets=num_sets, ways=ways, policy="drrip", seed=0)
+        cache = SetAssociativeCache(config)
+        leader = 0  # role 1 (SRRIP leader) by construction
+        # Cyclic scan of 4*ways distinct lines mapping to the leader set:
+        # every access misses under any RRIP variant.
+        working = [leader + num_sets * i for i in range(4 * ways)]
+        trace = np.asarray(working * 200, dtype=np.int64)
+        cache.simulate(trace, kernel="reference")
+        assert cache._psel > _PSEL_INIT  # SRRIP leaders voted against SRRIP
+        # A follower-set miss must now take the BRRIP insertion path and
+        # consume a draw.
+        before = cache._draw_cursor
+        follower = 2  # role 0 by construction (0 -> SRRIP, 1 -> BRRIP)
+        assert cache._role[follower] == 0
+        cache.access(follower + num_sets * 1000)
+        assert cache._draw_cursor == before + 1
