@@ -4,7 +4,8 @@ The reference simulator in :mod:`repro.sim.cache` replays one access at a
 time against lists-of-lists state — exact, readable, and slow (~1 µs per
 access).  This module replays the same trace with NumPy array state and is
 bit-exact with the reference for every policy: same hit bits, same
-snapshots, same PSEL / draw-cursor state after chained ``simulate`` calls.
+snapshots, same PSEL / access-position state after chained ``simulate``
+calls.
 
 Architecture (see DESIGN.md for the long version):
 
@@ -37,28 +38,40 @@ Architecture (see DESIGN.md for the long version):
     LRU therefore needs a *single* lockstep pass.  No iteration.
 
 5.  **Fixed-point iteration for SRRIP/BRRIP/DRRIP.**  RRIP state does not
-    form a compact monoid, and BRRIP draws / DRRIP PSEL couple the sets
-    through global program order.  The kernel guesses chunk-entry states
-    (and, from the current global miss vector, every access's insertion
-    RRPV), replays all streams in lockstep, then propagates corrected
-    exits/inserts and re-simulates only the *dirty* streams until nothing
-    changes.  Any fixed point of that process equals the sequential
-    reference replay (induction on the first differing program position:
-    its set's entry state and insertion inputs match the reference, so the
-    kernel would have produced the reference outcome there).  Convergence
-    is typically 2 full passes plus a sparse tail; a work budget bounds
-    pathological cases, falling back to the reference loop.
+    form a compact monoid, so the kernel guesses chunk-entry states,
+    replays all streams in lockstep, then propagates corrected exits and
+    re-simulates only the *dirty* streams until nothing changes.  Any
+    fixed point of that process equals the sequential reference replay
+    (induction on the first differing program position: its set's entry
+    state and insertion inputs match the reference, so the kernel would
+    have produced the reference outcome there).  Convergence is typically
+    2 full passes plus a sparse tail; a work budget bounds pathological
+    cases, falling back to the reference loop (observable through the
+    ``sim.kernel_fallback`` counter and a one-shot warning).
 
-DRRIP is exact — the PSEL trajectory is reconstructed per pass with a
-saturating-walk replay of leader-set misses, and follower insertions read
-the trajectory through a searchsorted lookup, so no epoch-granularity
-approximation is needed.  In ``auto`` dispatch, however, BRRIP and DRRIP
-route to the reference loop: every BRRIP-mode miss consumes a random draw
-by global miss *rank*, so a single flipped hit bit reassigns every later
-draw, and on realistic traces that feedback keeps the fixed point in a
-limit cycle until the budget forces a fallback (measured in DESIGN.md).
-The kernel path remains available (and bit-exact, via fallback) under
-forced ``kernel`` mode and wins on traces where the iteration converges.
+6.  **Per-access insertion draws.**  BRRIP's bimodal draw for the access
+    at lifetime position ``p`` is the counter-hash ``_draws.long_insert
+    (key, p)`` — a pure function of the seed and ``p``, never of the
+    hit/miss history (:mod:`repro.sim._draws`).  A flipped hit bit
+    therefore reassigns **no** later draw, so BRRIP's insertion RRPVs
+    are known *before* replay and BRRIP drops into exactly the SRRIP
+    fixed point.  DRRIP layers set dueling on top: leader-set insertions
+    are fixed by role (+ the per-access draw for BRRIP leaders), and
+    follower insertions read the PSEL trajectory — a pure function of
+    the *leader* heads' miss bits, reconstructed with an exact parallel
+    prefix scan over clamp-add compositions (``_saturating_walk``) and
+    reduced to a *crossing signature*: the initial sign of ``PSEL >=
+    INIT`` plus the program positions where that sign flips.  A pass
+    recomputes the trajectory only when leader miss bits changed, and
+    rematerializes insertion values only when the signature moved;
+    leader bits typically jiggle for a few passes without moving any
+    crossing, so the recompute is usually skipped entirely.  This
+    locality is what makes the DRRIP fixed point converge where the old
+    global miss-rank draw consumption kept it in a limit cycle (see
+    DESIGN.md §7 for the history).  Auto dispatch still declines
+    BRRIP/DRRIP on set-skewed traces (``_RRIP_MIN_DENSITY``): ripple
+    corrections travel one chunk per pass, so fixed-point cost tracks
+    the busiest set's access count while the reference loop tracks n.
 
 Everything here treats the cache's canonical list state as the interface:
 arrays in, arrays out, with conversion at the boundary, so kernel and
@@ -75,6 +88,7 @@ import numpy as np
 from repro.errors import SimulationError
 from repro.obs import metrics as _obs_metrics
 from repro.obs import span as _obs_span
+from repro.sim import _draws
 
 if TYPE_CHECKING:  # pragma: no cover - cache.py imports this module
     from repro.sim.cache import CacheConfig, SetAssociativeCache
@@ -86,7 +100,6 @@ __all__ = [
 ]
 
 _RRPV_MAX = 3
-_BRRIP_LONG_PROB = 1.0 / 32.0
 _PSEL_MAX = 1023
 _PSEL_INIT = 512
 
@@ -112,6 +125,16 @@ _PASS_BUDGET = 12
 # chunk per pass) settle within a few passes; LRU needs no bound (its
 # entry states come from an exact prefix scan, not iteration).
 _RRIP_MAX_CHAIN = 24
+
+# BRRIP/DRRIP fixed-point cost scales with the busiest set's access count
+# (corrections ripple one chunk per pass, each pass sweeping ~chunk_len
+# rows of NumPy-call overhead), while the reference loop scales with n.
+# The kernel only wins when the trace spreads wide across sets:
+# empirically ~1.5x at n/max_count ~ 120, break-even near ~70, and a
+# clear loss below ~60 (see BENCH_cache_kernel.json).  SRRIP is exempt:
+# frequent aging forgets state quickly, so its fixed point converges in
+# a handful of passes regardless of skew.
+_RRIP_MIN_DENSITY = 80
 
 
 def kernel_mode(explicit: str = "auto") -> str:
@@ -151,15 +174,12 @@ def kernel_profitable(
     if scan_interval and scan_interval < _MIN_SCAN_INTERVAL:
         return False
     if config.policy in ("brrip", "drrip"):
-        # Every BRRIP-mode miss consumes a draw by global miss *rank*, so
-        # one flipped hit bit reassigns every later draw.  On realistic
-        # traces that feedback keeps the fixed point in a limit cycle
-        # until the work budget forces a reference fallback, so attempting
-        # the kernel only adds overhead; auto dispatch goes straight to
-        # the reference loop.  (Forced ``kernel`` mode still tries, and
-        # still falls back exactly — both paths stay bit-exact.)  See
-        # DESIGN.md for the measurements behind this.
-        return False
+        # Skew guard: the bimodal fixed point pays ~max_count rows of
+        # ripple regardless of chunking, so a trace concentrated on few
+        # sets converges slower than the reference loop replays it.
+        max_count = int(np.bincount(lines % config.num_sets).max())
+        if lines.shape[0] < _RRIP_MIN_DENSITY * max_count:
+            return False
     return True
 
 
@@ -222,6 +242,7 @@ class _Streams:
         "ded_sets", "counts_d", "chunk_len", "nchunks", "stream_base",
         "num_streams", "sm_set", "sm_chunk", "sm_len", "col_of", "colperm",
         "lens_desc", "steps", "pos_flat", "tag_dtype", "ded_tags",
+        "set_start",
     )
 
     n: int
@@ -247,6 +268,7 @@ class _Streams:
     pos_flat: np.ndarray
     tag_dtype: type
     ded_tags: np.ndarray
+    set_start: np.ndarray
 
 
 def _build_streams(
@@ -350,6 +372,7 @@ def _build_streams(
     # Flat (row-major) index of every deduped access in the padded
     # (chunk_len, T) matrices: reused for the P/I scatters and H gather.
     set_start_d = np.concatenate(([0], np.cumsum(counts_d)))
+    st.set_start = set_start_d
     rank = np.arange(nd, dtype=np.int64) - set_start_d[ded_sets]
     stream_sm = stream_base[ded_sets] + rank // chunk_len
     row = rank % chunk_len
@@ -392,19 +415,25 @@ def _merge_recency(A: np.ndarray, B: np.ndarray) -> np.ndarray:
     return out
 
 
-def _chunk_summaries(st: _Streams, P: np.ndarray, ways: int) -> np.ndarray:
+def _chunk_summaries(
+    st: _Streams, P: np.ndarray, ways: int
+) -> Tuple[np.ndarray, np.ndarray]:
     """Exact per-stream summary R(chunk): last ``ways`` distinct tags.
 
     Computed from a suffix window of each chunk, doubling the window for
     the rare streams whose tail has fewer than ``ways`` distinct lines.
     ``P``'s -1 padding doubles as "before start of stream" filler.
-    Returns (num_streams, ways) in set-major stream order.
+    Returns ``(summ, summ_row)``, both (num_streams, ways) in set-major
+    stream order: the tags, and the chunk-row of each tag's *last*
+    occurrence (-1 for empty slots) — the RRIP entry-guess uses the row
+    to look up that occurrence's insertion value.
     """
     T = st.num_streams
     CL = st.chunk_len
     lens = st.sm_len
     cols = st.col_of
     summ = np.full((T, ways), -1, dtype=P.dtype)
+    summ_row = np.full((T, ways), -1, dtype=np.int64)
     pending = np.arange(T, dtype=np.int64)
     W = min(max(2 * ways, 4), CL)
     while pending.shape[0]:
@@ -422,13 +451,16 @@ def _chunk_summaries(st: _Streams, P: np.ndarray, ways: int) -> np.ndarray:
         idx = np.argsort(keep, axis=1, kind="stable")
         tail = idx[:, -ways:]
         got = np.take_along_axis(C, tail, axis=1)
+        got_row = np.take_along_axis(rows, tail, axis=1)
         kept = np.take_along_axis(keep, tail, axis=1)
         got[~kept] = -1
+        got_row[~kept] = -1
         done = (count >= ways) | (off == 0)
         summ[pending[done]] = got[done]
+        summ_row[pending[done]] = got_row[done]
         pending = pending[~done]
         W = min(2 * W, CL)
-    return summ
+    return summ, summ_row
 
 
 def _lru_entries(st: _Streams, P: np.ndarray, state_tags: np.ndarray,
@@ -438,7 +470,7 @@ def _lru_entries(st: _Streams, P: np.ndarray, state_tags: np.ndarray,
     Returns (num_streams, ways) recency rows: entry state each chunk sees.
     """
     T = st.num_streams
-    summ = _chunk_summaries(st, P, ways)
+    summ, _ = _chunk_summaries(st, P, ways)
     # Segmented inclusive Hillis-Steele scan of the summary monoid along
     # each set's chunk chain (chains are contiguous in set-major order).
     pref = summ.copy()
@@ -516,15 +548,25 @@ def _lockstep_rrip(
     rrpvT: np.ndarray,
     H: np.ndarray,
 ) -> None:
-    """One RRIP-family pass. ``I`` carries each access's insertion RRPV."""
+    """One RRIP-family pass. ``I`` carries each access's insertion RRPV.
+
+    Sentinel trick: scattering ``_RRPV_MAX + 1`` at the matching way
+    makes a single RRPV argmax serve both cases — hit columns pick their
+    match (the sentinel beats every legal RRPV), miss columns pick the
+    victim (first way at the maximum, matching the reference's scan
+    order; the uniform aging increment keeps that argmax position, so
+    picking before aging is exact).  The sentinel needs no cleanup: the
+    chosen way's RRPV is overwritten right after, every step, and hit
+    columns age by ``max(_RRPV_MAX - sentinel, 0) == 0``.
+    """
     ways, S = tagsT.shape
     ar = np.arange(S, dtype=np.int64)
     tflat = tagsT.ravel()
     rflat = rrpvT.ravel()
     zero8 = np.int8(0)
+    max8 = np.int8(_RRPV_MAX)
+    sent = np.int8(_RRPV_MAX + 1)
     eqb = np.empty((ways, S), dtype=bool)
-    hitb = np.empty(S, dtype=bool)
-    hwb = np.empty(S, dtype=np.int64)
     vb = np.empty(S, dtype=np.int64)
     defb = np.empty(S, dtype=np.int8)
     insb = np.empty(S, dtype=np.int8)
@@ -535,28 +577,24 @@ def _lockstep_rrip(
         cur = P[k, :A]
         eq = eqb[:, :A]
         np.equal(tagsT[:, :A], cur[None, :], out=eq)
-        hit = hitb[:A]
-        eq.any(axis=0, out=hit)
-        H[k, :A] = hit
-        hw = hwb[:A]
-        eq.argmax(axis=0, out=hw)
-        # Victim = first way at RRPV_MAX after uniform aging; a uniform
-        # increment keeps the argmax position, so pick it before aging.
+        rrpvT[:, :A][eq] = sent
         victim = vb[:A]
         rrpvT[:, :A].argmax(axis=0, out=victim)
-        flatv = victim * S
-        flatv += ar[:A]
+        victim *= S
+        victim += ar[:A]
+        vr = rflat[victim]
+        hit = vr == sent  # sentinel present iff the tag matched
+        H[k, :A] = hit
         deficit = defb[:A]
-        np.subtract(_RRPV_MAX, rflat[flatv], out=deficit)
-        deficit[hit] = zero8
+        np.subtract(max8, vr, out=deficit)
+        np.maximum(deficit, zero8, out=deficit)
         if deficit.any():
             rrpvT[:, :A] += deficit[None, :]
-        np.copyto(flatv, hw * S + ar[:A], where=hit)
         ins = insb[:A]
         np.copyto(ins, I[k, :A])
         ins[hit] = zero8
-        tflat[flatv] = cur
-        rflat[flatv] = ins
+        tflat[victim] = cur
+        rflat[victim] = ins
 
 
 # ---------------------------------------------------------------------------
@@ -568,81 +606,40 @@ def _saturating_walk(p0: int, deltas: np.ndarray) -> np.ndarray:
     """PSEL trajectory: p[i] = clip(p[i-1] + deltas[i], 0, _PSEL_MAX).
 
     Fast path: if the raw cumulative walk never leaves the valid range the
-    clamps never fire.  Otherwise replay blockwise, restarting the
-    cumulative sum at each clamp event.
+    clamps never fire and a plain cumsum is exact.  Otherwise run an
+    exact parallel prefix scan over the clamp-add functions.  Each step
+    is ``f(x) = min(c, max(b, x + s))`` with ``(s, b, c) = (delta, 0,
+    PSEL_MAX)``, and that family is closed under composition::
+
+        (f_r . f_l)(x) = min(c', max(b', x + s'))
+        s' = s_l + s_r
+        b' = max(b_r, b_l + s_r)
+        c' = min(c_r, max(b_r, c_l + s_r))
+
+    so a Hillis-Steele doubling scan yields every prefix composition in
+    ``O(n log n)`` vector work — no scalar replay however often the
+    counter saturates (thrashing workloads pin PSEL at a rail for most
+    of the trace, which made restart-based replays degenerate).
     """
     raw = np.cumsum(deltas, dtype=np.int64) + p0
     if raw.shape[0] == 0:
         return raw
     if 0 <= raw.min() and raw.max() <= _PSEL_MAX:
         return raw
-    out = np.empty_like(raw)
-    base = p0
-    start = 0
     n = deltas.shape[0]
-    restarts = 0
-    while start < n:
-        restarts += 1
-        if restarts > 64:
-            # Heavily clamped walk: scalar replay of the remainder.
-            p = base
-            for i, d in enumerate(deltas[start:].tolist()):
-                p = min(_PSEL_MAX, max(0, p + d))
-                out[start + i] = p
-            break
-        seg = np.cumsum(deltas[start:], dtype=np.int64) + base
-        bad = np.flatnonzero((seg < 0) | (seg > _PSEL_MAX))
-        if bad.shape[0] == 0:
-            out[start:] = seg
-            break
-        b = int(bad[0])
-        out[start:start + b] = seg[:b]
-        base = 0 if seg[b] < 0 else _PSEL_MAX
-        out[start + b] = base
-        start += b + 1
-    return out
-
-
-def _insert_values(
-    policy: str,
-    miss: np.ndarray,
-    role_acc: Optional[np.ndarray],
-    psel0: int,
-    cursor0: int,
-    draws: np.ndarray,
-) -> Tuple[np.ndarray, np.ndarray, int, int]:
-    """Insertion RRPVs for the miss positions of a program-order trace.
-
-    Returns ``(miss_pos, ins_at_miss, psel_final, n_draws)``.
-    """
-    miss_pos = np.flatnonzero(miss)
-    nm = miss_pos.shape[0]
-    if policy == "srrip":
-        return miss_pos, np.full(nm, _RRPV_MAX - 1, dtype=np.int8), psel0, 0
-    if policy == "brrip":
-        use_b = np.ones(nm, dtype=bool)
-        psel_final = psel0
-    else:  # drrip
-        roles = role_acc[miss_pos]
-        leader = roles != 0
-        e_idx = np.flatnonzero(leader)
-        deltas = np.where(roles[e_idx] == 1, 1, -1).astype(np.int64)
-        traj = _saturating_walk(psel0, deltas)
-        psel_final = int(traj[-1]) if traj.shape[0] else psel0
-        # Follower miss i reads PSEL after every leader miss before it.
-        before = np.searchsorted(e_idx, np.arange(nm, dtype=np.int64), side="left")
-        traj0 = np.concatenate(([psel0], traj))
-        psel_at = traj0[before]
-        use_b = np.where(leader, roles == 2, psel_at >= _PSEL_INIT)
-
-    ranks = np.cumsum(use_b) - 1  # draw index per consuming miss
-    nb = int(use_b.sum())
-    dlen = draws.shape[0]
-    ins = np.full(nm, _RRPV_MAX - 1, dtype=np.int8)
-    took = np.flatnonzero(use_b)
-    dvals = draws[(cursor0 + ranks[took]) % dlen]
-    ins[took] = np.where(dvals < _BRRIP_LONG_PROB, _RRPV_MAX - 1, _RRPV_MAX)
-    return miss_pos, ins, psel_final, nb
+    s = deltas.astype(np.int64, copy=True)
+    b = np.zeros(n, dtype=np.int64)
+    c = np.full(n, _PSEL_MAX, dtype=np.int64)
+    k = 1
+    while k < n:
+        s_r, b_r, c_r = s[k:], b[k:], c[k:]
+        s_l, b_l, c_l = s[:-k], b[:-k], c[:-k]
+        s2 = s_l + s_r
+        b2 = np.maximum(b_r, b_l + s_r)
+        c2 = np.minimum(c_r, np.maximum(b_r, c_l + s_r))
+        s[k:], b[k:], c[k:] = s2, b2, c2
+        k *= 2
+    return np.minimum(c, np.maximum(b, p0 + s))
 
 
 # ---------------------------------------------------------------------------
@@ -696,42 +693,134 @@ def _segment_rrip(
     state_rrpv: np.ndarray,
     ways: int,
     psel0: int,
-    cursor0: int,
-    draws: np.ndarray,
+    long_ins: Optional[np.ndarray],
     role_acc: Optional[np.ndarray],
-) -> Optional[Tuple[np.ndarray, np.ndarray, np.ndarray, int, int]]:
+) -> Optional[Tuple[np.ndarray, np.ndarray, np.ndarray, int]]:
     """Fixed-point replay of one segment for srrip/brrip/drrip.
 
-    Returns ``(hits, out_tags, out_rrpv, psel, cursor)`` or ``None`` when
-    the work budget is exhausted (caller falls back to the reference).
+    ``long_ins`` carries the segment's per-access bimodal draws (None
+    for SRRIP, which never reads them).  Returns ``(hits, out_tags,
+    out_rrpv, psel)`` or ``None`` when the work budget is exhausted
+    (caller falls back to the reference).
     """
     T = st.num_streams
     CL = st.chunk_len
     P = _pad_matrix(st, st.ded_tags, -1, st.tag_dtype)
 
+    # Per-access insertion RRPVs at the deduped positions.  SRRIP inserts
+    # a constant; BRRIP reads the position-keyed draw, so its I matrix is
+    # exact before any replay.  DRRIP insertion values depend only on the
+    # *leader* sets' miss stream (leaders vote PSEL by role, followers
+    # read the reconstructed trajectory — follower misses never feed
+    # back), so its insert fixed point iterates on leader hit bits alone,
+    # starting from an assume-every-leader-head-misses guess.  A run of
+    # length >= 2 pins its line at RRPV 0 whatever the insertion policy
+    # says (the duplicate hits promote it).
+    need_inserts = policy == "drrip"
+    psel_final = psel0
+    if policy != "srrip":
+        assert long_ins is not None
+        long_h = long_ins[st.head_prog]
+    if policy == "srrip":
+        ins_ded0 = np.full(st.nd, _RRPV_MAX - 1, dtype=np.int8)
+    elif policy == "brrip":
+        ins_ded0 = np.where(long_h, _RRPV_MAX - 1, _RRPV_MAX).astype(np.int8)
+    else:
+        assert role_acc is not None
+        role_h = role_acc[st.head_prog]
+        lead_sorted = np.flatnonzero(role_h != 0)
+        lead_sorted = lead_sorted[
+            np.argsort(st.head_prog[lead_sorted], kind="stable")
+        ]
+        lp_sorted = st.head_prog[lead_sorted]
+        ldelta_sorted = np.where(role_h[lead_sorted] == 1, 1, -1).astype(
+            np.int64
+        )
+        follower = role_h == 0
+
+        def _psel_signature(
+            lmiss_sorted: np.ndarray,
+        ) -> Tuple[bool, np.ndarray, int]:
+            """Crossing signature of the PSEL trajectory + final value.
+
+            Follower insertions read only ``sign(PSEL >= INIT)`` at their
+            position, and that sign is piecewise constant between midpoint
+            crossings — so ``(initial sign, crossing positions)`` fully
+            determines every insertion value.  Computing it costs O(leader
+            misses), which lets the fixed-point loop skip the O(nd) insert
+            materialization whenever the signature is unchanged (leader
+            miss bits often jiggle without moving any crossing).
+            """
+            traj = _saturating_walk(psel0, ldelta_sorted[lmiss_sorted])
+            sign = np.empty(traj.shape[0] + 1, dtype=bool)
+            sign[0] = psel0 >= _PSEL_INIT
+            np.greater_equal(traj, _PSEL_INIT, out=sign[1:])
+            flips = np.flatnonzero(sign[1:] != sign[:-1])
+            cross = lp_sorted[lmiss_sorted][flips]
+            pf = int(traj[-1]) if traj.shape[0] else psel0
+            return bool(sign[0]), cross, pf
+
+        def _drrip_inserts(s0: bool, cross: np.ndarray) -> np.ndarray:
+            """Exact per-head inserts from the PSEL crossing signature.
+
+            A head at program position p reads PSEL after every leader
+            miss strictly before p (its own vote, if any, is by role), so
+            its sign is ``s0`` flipped once per crossing before p.
+            """
+            odd = (np.searchsorted(cross, st.head_prog, side="left") & 1) == 1
+            sign_at = odd != s0  # XOR: s0 flipped (crossings % 2) times
+            use_b = (role_h == 2) | (follower & sign_at)
+            ins = np.full(st.nd, _RRPV_MAX - 1, dtype=np.int8)
+            t = np.flatnonzero(use_b)
+            ins[t] = np.where(
+                long_h[t], _RRPV_MAX - 1, _RRPV_MAX
+            ).astype(np.int8)
+            return ins
+
+        lmiss_prev = np.ones(lead_sorted.shape[0], dtype=bool)
+        s0_prev, cross_prev, psel_final = _psel_signature(lmiss_prev)
+        ins_ded0 = _drrip_inserts(s0_prev, cross_prev)
+    ins_ded0[st.run2] = 0
+    I = np.full((CL, T), _RRPV_MAX - 1, dtype=np.int8)
+    I.ravel()[st.pos_flat] = ins_ded0
+    ins_ded_prev = ins_ded0  # read only when need_inserts
+
     # Entry guesses: chunk 0 gets the real state; later chunks borrow the
-    # previous chunk's recency summary with a flat RRPV-2 guess — close
-    # enough that pass 2 usually confirms most streams untouched.
-    summ = _chunk_summaries(st, P, ways)
+    # previous chunk's recency summary.  For SRRIP the RRPV guess is a
+    # flat RRPV-2 (frequent aging under SRRIP makes the constant insert a
+    # better prior than any stale per-access value); for BRRIP/DRRIP —
+    # where aging is rare, so insertion values stick — each summary tag
+    # is guessed at its *last occurrence's* insertion value (0 after a
+    # run of >= 2), looked up through the occurrence row the summary
+    # records.
+    summ, summ_row = _chunk_summaries(st, P, ways)
     ent_tags_sm = np.empty((T, ways), dtype=st.tag_dtype)
     ent_rrpv_sm = np.empty((T, ways), dtype=np.int8)
     first = st.sm_chunk == 0
     ent_tags_sm[first] = state_tags[st.sm_set[first]].astype(st.tag_dtype)
     ent_rrpv_sm[first] = state_rrpv[st.sm_set[first]]
     later = np.flatnonzero(~first)
-    ent_tags_sm[later] = summ[later - 1]
-    ent_rrpv_sm[later] = np.where(summ[later - 1] == -1, _RRPV_MAX, _RRPV_MAX - 1)
+    prev = later - 1
+    ent_tags_sm[later] = summ[prev]
+    if policy == "srrip":
+        ent_rrpv_sm[later] = np.where(
+            summ[prev] == -1, _RRPV_MAX, _RRPV_MAX - 1
+        )
+    else:
+        valid = summ[prev] != -1
+        ded = (
+            st.set_start[st.sm_set[prev]][:, None]
+            + st.sm_chunk[prev][:, None] * CL
+            + summ_row[prev]
+        )
+        ded_safe = np.where(valid, ded, 0)
+        ent_rrpv_sm[later] = np.where(valid, ins_ded0[ded_safe], _RRPV_MAX)
 
     E_tags = np.ascontiguousarray(ent_tags_sm[st.colperm].T)
     E_rrpv = np.ascontiguousarray(ent_rrpv_sm[st.colperm].T)
     X_tags = np.full((ways, T), -2, dtype=st.tag_dtype)
     X_rrpv = np.zeros((ways, T), dtype=np.int8)
     H = np.zeros((CL, T), dtype=bool)
-    I = np.full((CL, T), _RRPV_MAX - 1, dtype=np.int8)
-    # A run of length >= 2 pins its line at RRPV 0 whatever the insertion
-    # policy says (the duplicate hits promote it); for SRRIP this is the
-    # only deviation from the constant insert-2, so I is final here.
-    I.ravel()[st.pos_flat[st.run2]] = 0
 
     # Successor column of each column's stream (or -1): the next chunk of
     # the same set, mapped from set-major stream ids to column ids.
@@ -739,9 +828,6 @@ def _segment_rrip(
     succ_col = np.full(T, -1, dtype=np.int64)
     succ_col[st.col_of[has_next]] = st.col_of[has_next + 1]
 
-    need_inserts = policy in ("brrip", "drrip")
-    ins_ded_prev = None
-    psel_final, n_draws = psel0, 0
     dirty = np.ones(T, dtype=bool)
     budget = _PASS_BUDGET * T
     debug = bool(os.environ.get("REPRO_SIM_KERNEL_DEBUG"))
@@ -789,35 +875,32 @@ def _segment_rrip(
             dirty[dst[entry_changed]] = True
 
         if need_inserts:
-            hit_sorted = H.ravel()[st.pos_flat][st.didx]
-            np.logical_or(hit_sorted, ~st.keep, out=hit_sorted)
-            miss_prog = np.zeros(st.n, dtype=bool)
-            miss_prog[st.order] = ~hit_sorted
-            miss_pos, ins_at_miss, psel_final, n_draws = _insert_values(
-                policy, miss_prog, role_acc, psel0, cursor0, draws
-            )
-            ded_miss = np.flatnonzero(~hit_sorted[st.keep])
-            loc = np.searchsorted(miss_pos, st.head_prog[ded_miss])
-            ins_ded = np.full(st.nd, _RRPV_MAX - 1, dtype=np.int8)
-            ins_ded[ded_miss] = ins_at_miss[loc]
-            # A run of length >= 2 pins the line at RRPV 0 regardless of
-            # the drawn insertion (the duplicate hit promotes it).
-            ins_ded[st.run2] = 0
-            if ins_ded_prev is None:
-                chg = np.arange(st.nd, dtype=np.int64)
-            else:
-                chg = np.flatnonzero(ins_ded != ins_ded_prev)
-            if chg.shape[0]:
-                flat = st.pos_flat[chg]
-                I.ravel()[flat] = ins_ded[chg]
-                dirty[flat % T] = True
+            # Inserts are a function of the leader heads' miss bits only;
+            # skip the recompute entirely while those are unchanged.
+            lmiss = ~H.ravel()[st.pos_flat[lead_sorted]]
+            ins_chg = 0
+            if not np.array_equal(lmiss, lmiss_prev):
+                lmiss_prev = lmiss
+                s0_new, cross_new, psel_final = _psel_signature(lmiss)
+                if s0_new != s0_prev or not np.array_equal(
+                    cross_new, cross_prev
+                ):
+                    s0_prev, cross_prev = s0_new, cross_new
+                    ins_ded = _drrip_inserts(s0_new, cross_new)
+                    ins_ded[st.run2] = 0
+                    chg = np.flatnonzero(ins_ded != ins_ded_prev)
+                    ins_chg = int(chg.shape[0])
+                    if chg.shape[0]:
+                        flat = st.pos_flat[chg]
+                        I.ravel()[flat] = ins_ded[chg]
+                        dirty[flat % T] = True
+                    ins_ded_prev = ins_ded
             if debug:
                 print(
                     f"    pass {pass_no}: simmed={cols.shape[0]} "
-                    f"entry_dirty={int(dirty.sum())} ins_chg={chg.shape[0]} "
-                    f"misses={miss_pos.shape[0]}"
+                    f"entry_dirty={int(dirty.sum())} ins_chg={ins_chg} "
+                    f"leader_miss={int(lmiss.sum())}"
                 )
-            ins_ded_prev = ins_ded
         elif debug:
             print(f"    pass {pass_no}: simmed={cols.shape[0]} "
                   f"entry_dirty={int(dirty.sum())}")
@@ -833,8 +916,7 @@ def _segment_rrip(
     out_rrpv = state_rrpv.copy()
     out_tags[has] = X_tags[:, cols].T
     out_rrpv[has] = X_rrpv[:, cols].T
-    cursor = (cursor0 + n_draws) % draws.shape[0] if need_inserts else cursor0
-    return hits, out_tags, out_rrpv, psel_final, int(cursor)
+    return hits, out_tags, out_rrpv, psel_final
 
 
 # ---------------------------------------------------------------------------
@@ -877,8 +959,16 @@ def _kernel_simulate_inner(
 ) -> Optional[Tuple[np.ndarray, List[Tuple[int, np.ndarray]]]]:
     state_tags, state_rrpv = _state_arrays(cache)
     psel = cache._psel
-    cursor = cache._draw_cursor
-    draws = cache._brrip_draws
+    pos0 = cache._access_pos
+    if policy in ("brrip", "drrip"):
+        # Per-access bimodal draws for the whole batch, keyed by the
+        # cache's lifetime access position (bit-exact with the scalar
+        # and reference paths by construction — same hash, same keys).
+        long_all: Optional[np.ndarray] = _draws.long_inserts(
+            cache._draw_key, pos0, n
+        )
+    else:
+        long_all = None
     if policy == "drrip":
         role_acc = np.asarray(cache._role, dtype=np.int8)[lines % num_sets]
     else:
@@ -903,12 +993,13 @@ def _kernel_simulate_inner(
             seg_hits, state_tags = _segment_lru(st, state_tags, ways)
         else:
             res = _segment_rrip(
-                st, policy, state_tags, state_rrpv, ways, psel, cursor,
-                draws, role_acc[lo:hi] if role_acc is not None else None,
+                st, policy, state_tags, state_rrpv, ways, psel,
+                long_all[lo:hi] if long_all is not None else None,
+                role_acc[lo:hi] if role_acc is not None else None,
             )
             if res is None:
                 return None
-            seg_hits, state_tags, state_rrpv, psel, cursor = res
+            seg_hits, state_tags, state_rrpv, psel = res
         hits[lo:hi] = seg_hits
         if scan_interval and hi % scan_interval == 0:
             snapshots.append((hi, _resident_from_state(state_tags, num_sets)))
@@ -916,5 +1007,5 @@ def _kernel_simulate_inner(
     # Reference LRU never touches RRPV state; keep it bit-identical.
     _write_state(cache, state_tags, state_rrpv if policy != "lru" else None)
     cache._psel = psel
-    cache._draw_cursor = cursor
+    cache._access_pos = pos0 + n
     return hits, snapshots

@@ -10,10 +10,17 @@ The simulator is functional (timing-less): it classifies every access of
 a pre-generated trace as hit or miss, and can periodically snapshot the
 resident cache lines, which is how the Effective Cache Size metric
 (Section VI-F) is computed.
+
+BRRIP's bimodal insertion decisions come from the per-access counter-hash
+stream in :mod:`repro.sim._draws`: the draw for the access at lifetime
+position ``p`` is a pure function of ``(seed, p)``, independent of the
+hit/miss history, so cache sets are fully decoupled and the vectorized
+kernels in :mod:`repro.sim._kernels` can replay every policy bit-exactly.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -21,7 +28,7 @@ import numpy as np
 from repro.errors import SimulationError
 from repro.obs import enabled as _obs_enabled
 from repro.obs import metrics as _obs_metrics
-from repro.sim import _kernels
+from repro.sim import _draws, _kernels
 
 __all__ = ["CacheConfig", "CacheSnapshot", "SetAssociativeCache", "count_cold_misses"]
 
@@ -31,6 +38,26 @@ _BRRIP_LONG_PROB = 1.0 / 32.0  # probability BRRIP inserts with rrpv=2
 _DUEL_PERIOD = 32  # one SRRIP leader and one BRRIP leader per 32 sets
 _PSEL_MAX = 1023
 _PSEL_INIT = 512
+
+#: One-shot latch for the kernel-fallback warning (process-wide: the
+#: point is to surface the *first* silent fallback, not to spam).
+_FALLBACK_WARNED = False
+
+
+def _warn_kernel_fallback(policy: str, mode: str) -> None:
+    global _FALLBACK_WARNED
+    if _FALLBACK_WARNED:
+        return
+    _FALLBACK_WARNED = True
+    warnings.warn(
+        f"cache kernel (mode={mode!r}, policy={policy!r}) exhausted its "
+        "fixed-point budget and fell back to the reference loop; the "
+        "batch pays kernel overhead *plus* the ~1 us/access reference "
+        "cost. Counted in the 'sim.kernel_fallback' repro.obs metric; "
+        "set REPRO_SIM_KERNEL=reference to skip the attempt.",
+        RuntimeWarning,
+        stacklevel=3,
+    )
 
 
 @dataclass(frozen=True)
@@ -108,8 +135,12 @@ class SetAssociativeCache:
         self._tags: list[list[int]] = [[-1] * ways for _ in range(num_sets)]
         self._rrpv: list[list[int]] = [[_RRPV_MAX] * ways for _ in range(num_sets)]
         self._psel = _PSEL_INIT
-        self._brrip_draws = np.random.default_rng(config.seed).random(1 << 16)
-        self._draw_cursor = 0
+        # Lifetime access position: every access (any policy, hit or
+        # miss) advances it by one, and the BRRIP bimodal draw for the
+        # access at position p is the pure function _draws.long_insert
+        # (_draw_key, p) — no finite pool, no consumption cursor.
+        self._access_pos = 0
+        self._draw_key = _draws.draw_key(config.seed)
         # Leader-set roles for DRRIP set dueling: 0 follower, 1 SRRIP
         # leader, 2 BRRIP leader.
         self._role = [0] * num_sets
@@ -130,6 +161,8 @@ class SetAssociativeCache:
         routing a length-1 ndarray through :meth:`simulate`.
         """
         line = int(line)
+        pos = self._access_pos
+        self._access_pos = pos + 1
         s = line % self.config.num_sets
         ts = self._tags[s]
         if self.config.policy == "lru":
@@ -168,11 +201,8 @@ class SetAssociativeCache:
             else:
                 use_brrip = self._psel >= _PSEL_INIT
         if use_brrip:
-            draw = self._brrip_draws[self._draw_cursor]
-            self._draw_cursor += 1
-            if self._draw_cursor == self._brrip_draws.shape[0]:
-                self._draw_cursor = 0
-            insert = _RRPV_MAX - 1 if draw < _BRRIP_LONG_PROB else _RRPV_MAX
+            long = _draws.long_insert(self._draw_key, pos)
+            insert = _RRPV_MAX - 1 if long else _RRPV_MAX
         else:
             insert = _RRPV_MAX - 1
         ts[victim] = line
@@ -228,6 +258,12 @@ class SetAssociativeCache:
                             for idx, resident in raw_snaps
                         ],
                     )
+                # The kernel attempted the batch and gave up (fixed-point
+                # budget); the silent cost is kernel overhead plus the
+                # full reference replay below, so make it observable.
+                if _obs_enabled():
+                    _obs_metrics.registry.counter("sim.kernel_fallback").inc()
+                _warn_kernel_fallback(self.config.policy, mode)
         if _obs_enabled():
             _obs_metrics.registry.counter("cache.reference_batches").inc()
         return self._simulate_reference(lines, scan_interval)
@@ -245,9 +281,6 @@ class SetAssociativeCache:
         rrpv = self._rrpv
         role = self._role
         psel = self._psel
-        draws = self._brrip_draws
-        cursor = self._draw_cursor
-        draws_len = draws.shape[0]
         lines_list = lines.tolist()
 
         if policy == "lru":
@@ -266,6 +299,16 @@ class SetAssociativeCache:
         else:
             srrip_only = policy == "srrip"
             brrip_only = policy == "brrip"
+            # Per-access draws for this batch, precomputed with the same
+            # vectorized hash the kernels use (bit-exact with the scalar
+            # access() path by construction).  SRRIP never reads them.
+            long_ins: list[bool] = (
+                []
+                if srrip_only
+                else _draws.long_inserts(
+                    self._draw_key, self._access_pos, num_accesses
+                ).tolist()
+            )
             for i, line in enumerate(lines_list):
                 s = line % num_sets
                 ts = tags[s]
@@ -300,12 +343,8 @@ class SetAssociativeCache:
                         else:
                             use_brrip = psel >= _PSEL_INIT
                     if use_brrip:
-                        draw = draws[cursor]
-                        cursor += 1
-                        if cursor == draws_len:
-                            cursor = 0
                         insert = (
-                            _RRPV_MAX - 1 if draw < _BRRIP_LONG_PROB else _RRPV_MAX
+                            _RRPV_MAX - 1 if long_ins[i] else _RRPV_MAX
                         )
                     else:
                         insert = _RRPV_MAX - 1
@@ -315,7 +354,7 @@ class SetAssociativeCache:
                     snapshots.append(CacheSnapshot(i + 1, self.resident_lines()))
 
         self._psel = psel
-        self._draw_cursor = cursor
+        self._access_pos += num_accesses
         return SimulatedAccesses(hits=hits, snapshots=snapshots)
 
 

@@ -3,9 +3,9 @@
 The vectorized kernels in :mod:`repro.sim._kernels` promise bit-exact
 agreement with the reference per-access loop: same hit bits, same
 snapshots, same final cache state (including DRRIP's PSEL counter and
-the BRRIP draw cursor) even across chained ``simulate`` calls.  These
-tests drive both paths over random geometries, policies and traces and
-compare everything.
+the lifetime access position that keys the BRRIP bimodal draws) even
+across chained ``simulate`` calls.  These tests drive both paths over
+random geometries, policies and traces and compare everything.
 """
 
 import numpy as np
@@ -13,8 +13,11 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro import obs
 from repro.errors import SimulationError
+from repro.obs import metrics as obs_metrics
 from repro.sim import CacheConfig, SetAssociativeCache, kernel_mode, kernel_supported
+from repro.sim import cache as cache_mod
 from repro.sim._kernels import MODE_ENV
 
 POLICIES = ("lru", "srrip", "brrip", "drrip")
@@ -45,7 +48,7 @@ def _assert_same_state(ref, ker, policy):
     if policy != "lru":
         assert ref._rrpv == ker._rrpv
     assert ref._psel == ker._psel
-    assert ref._draw_cursor == ker._draw_cursor
+    assert ref._access_pos == ker._access_pos
 
 
 class TestDispatch:
@@ -71,13 +74,24 @@ class TestDispatch:
         tiny_sets = CacheConfig(num_sets=2, ways=8, policy="lru")
         assert not kernel_supported(tiny_sets, big, 0)
 
-    def test_rank_coupled_policies_not_auto_dispatched(self):
-        # BRRIP/DRRIP draws are consumed by global miss rank; auto mode
-        # keeps them on the reference loop (see _kernels docstring).
-        big = np.arange(20_000, dtype=np.int64)
+    def test_bimodal_policies_gated_on_set_skew(self):
+        # BRRIP/DRRIP fixed-point cost tracks the busiest set's access
+        # count; auto mode dispatches them only when the trace spreads
+        # across enough sets (see _RRIP_MIN_DENSITY in _kernels).  A
+        # balanced trace has n/max_count ~ num_sets, so even perfect
+        # balance is declined below ~80 sets — small geometries lack the
+        # cross-set parallelism the lockstep replay amortizes against.
+        wide = np.arange(40_000, dtype=np.int64)  # perfectly balanced
+        skewed = np.zeros(40_000, dtype=np.int64)  # one set takes all
         for policy in ("brrip", "drrip"):
-            config = CacheConfig(num_sets=32, ways=8, policy=policy)
-            assert not kernel_supported(config, big, 0)
+            big = CacheConfig(num_sets=128, ways=8, policy=policy)
+            small = CacheConfig(num_sets=32, ways=8, policy=policy)
+            assert kernel_supported(big, wide, 0)
+            assert not kernel_supported(big, skewed, 0)
+            assert not kernel_supported(small, wide, 0)
+        # SRRIP is exempt from the skew guard: aging forgets state fast.
+        srrip = CacheConfig(num_sets=32, ways=8, policy="srrip")
+        assert kernel_supported(srrip, skewed, 0)
 
     def test_auto_equals_reference_for_small_traces(self):
         config = CacheConfig(num_sets=4, ways=2, policy="lru")
@@ -150,20 +164,124 @@ class TestKernelEquivalence:
         assert np.array_equal(r.hits, k.hits)
         _assert_same_state(ref, ker, policy)
 
-    def test_large_trace_exercises_kernel_dispatch(self):
-        # Above every profitability threshold: auto must take the kernel
-        # path for LRU/SRRIP and still agree with the reference.
+    def test_large_trace_exercises_kernel_dispatch(self, monkeypatch):
+        # Above every profitability threshold (including the BRRIP/DRRIP
+        # skew guard, which needs the near-balanced load to spread over
+        # >= ~80 sets): auto must take the kernel path for all four
+        # policies and still agree with the reference.  The env escape
+        # hatch overrides both explicit modes here, so clear it — this
+        # test pins the *auto* heuristic's decision.
+        monkeypatch.delenv(MODE_ENV, raising=False)
         rng = np.random.default_rng(3)
-        lines = rng.integers(0, 4096, size=30_000)
-        for policy in ("lru", "srrip"):
-            config = CacheConfig(num_sets=32, ways=8, policy=policy)
+        lines = rng.integers(0, 8192, size=40_000)
+        for policy in POLICIES:
+            config = CacheConfig(num_sets=128, ways=8, policy=policy)
+            assert kernel_supported(config, lines, 0)
             ref = SetAssociativeCache(config)
             ker = SetAssociativeCache(config)
-            r = ref.simulate(lines, kernel="reference")
-            k = ker.simulate(lines)  # auto
+            with obs.recording(fresh=True):
+                r = ref.simulate(lines, kernel="reference")
+                k = ker.simulate(lines)  # auto
+                dispatched = obs_metrics.registry.counter(
+                    "cache.kernel_batches"
+                ).value
+            assert dispatched == 1, policy
             assert np.array_equal(r.hits, k.hits)
             _assert_same_state(ref, ker, policy)
 
+    @settings(max_examples=8, deadline=None)
+    @given(
+        policy=st.sampled_from(POLICIES),
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+        flips=st.sampled_from(
+            [
+                ("kernel", "reference", "kernel"),
+                ("reference", "kernel", "reference"),
+                ("auto", "kernel", "reference"),
+            ]
+        ),
+    )
+    def test_chained_calls_survive_env_mode_flips(self, policy, seed, flips):
+        # A mid-run REPRO_SIM_KERNEL flip must not disturb draw-position
+        # or PSEL state: reference->kernel->reference handoffs replay the
+        # same per-access draw stream the unflipped run would.  (Manual
+        # env juggling instead of monkeypatch: hypothesis does not reset
+        # function-scoped fixtures between generated examples.)
+        import os
+
+        rng = np.random.default_rng(seed)
+        lines = rng.integers(0, 300, size=3000)
+        config = CacheConfig(num_sets=8, ways=4, policy=policy, seed=3)
+        saved = os.environ.pop(MODE_ENV, None)
+        try:
+            ref = SetAssociativeCache(config)
+            flipped = SetAssociativeCache(config)
+            cuts = np.linspace(0, lines.shape[0], len(flips) + 1).astype(int)
+            for i, mode in enumerate(flips):
+                part = lines[cuts[i]:cuts[i + 1]]
+                os.environ.pop(MODE_ENV, None)
+                r = ref.simulate(part, kernel="reference")
+                os.environ[MODE_ENV] = mode
+                k = flipped.simulate(part)
+                assert np.array_equal(r.hits, k.hits), (policy, i, mode)
+            os.environ.pop(MODE_ENV, None)
+            _assert_same_state(ref, flipped, policy)
+        finally:
+            os.environ.pop(MODE_ENV, None)
+            if saved is not None:
+                os.environ[MODE_ENV] = saved
+
+class TestKernelFallbackObservability:
+    def _declined(self, monkeypatch):
+        # Simulate the kernel giving up (fixed-point budget exhausted)
+        # without needing a pathological trace: the dispatch layer only
+        # sees the None return.  These tests pin the explicit-argument
+        # dispatch, so the env escape hatch must not override it.
+        from repro.sim import _kernels
+
+        monkeypatch.delenv(MODE_ENV, raising=False)
+        monkeypatch.setattr(
+            _kernels, "kernel_simulate", lambda cache, lines, scan: None
+        )
+
+    def test_fallback_counts_and_warns_once(self, monkeypatch):
+        self._declined(monkeypatch)
+        monkeypatch.setattr(cache_mod, "_FALLBACK_WARNED", False)
+        config = CacheConfig(num_sets=32, ways=8, policy="drrip")
+        lines = np.arange(20_000, dtype=np.int64)
+        ref = SetAssociativeCache(config).simulate(lines, kernel="reference")
+        with obs.recording(fresh=True):
+            cache = SetAssociativeCache(config)
+            with pytest.warns(RuntimeWarning, match="fixed-point budget"):
+                got = cache.simulate(lines, kernel="kernel")
+            counters = obs_metrics.registry.snapshot()
+        # The batch still produced correct (reference) results ...
+        assert np.array_equal(got.hits, ref.hits)
+        # ... and the silent-fallback path became observable.
+        assert counters["sim.kernel_fallback"]["value"] == 1
+        assert counters["cache.reference_batches"]["value"] == 1
+        # The warning is a one-shot latch: a second fallback only counts.
+        with obs.recording(fresh=True):
+            import warnings as _warnings
+
+            with _warnings.catch_warnings():
+                _warnings.simplefilter("error")
+                SetAssociativeCache(config).simulate(lines, kernel="kernel")
+            again = obs_metrics.registry.snapshot()
+        assert again["sim.kernel_fallback"]["value"] == 1
+
+    def test_no_fallback_metric_on_clean_dispatch(self, monkeypatch):
+        monkeypatch.delenv(MODE_ENV, raising=False)
+        config = CacheConfig(num_sets=32, ways=8, policy="srrip")
+        lines = np.arange(20_000, dtype=np.int64)
+        with obs.recording(fresh=True):
+            SetAssociativeCache(config).simulate(lines)
+            counters = obs_metrics.registry.snapshot()
+        assert "sim.kernel_fallback" not in counters
+        assert counters["cache.kernel_batches"]["value"] == 1
+
+
+class TestScalarAccess:
     def test_scalar_access_matches_simulate(self):
         rng = np.random.default_rng(4)
         lines = rng.integers(0, 128, size=500)

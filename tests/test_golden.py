@@ -185,8 +185,48 @@ def test_fig1_missrate_golden(identity_sim, rabbit_sim, update_golden):
     check_golden("fig1_missrate", computed, update_golden)
 
 
+def test_bimodal_draws_golden(golden_rmat, update_golden):
+    """BRRIP/DRRIP miss counters under the per-access draw stream.
+
+    The figure/table fixtures above run at the golden graph's *scaled*
+    geometry, which collapses to a single set — a degenerate DRRIP that
+    never takes a bimodal insertion, leaving the draw stream unpinned.
+    This fixture replays the same SpMV trace through a deliberately
+    tiny 4-set x 2-way cache that thrashes: BRRIP draws on most misses
+    and DRRIP duels for real (PSEL leaves its midpoint, different seeds
+    give different miss counts), so any change to the splitmix64
+    counter-hash (`repro.sim._draws`), the draw-position bookkeeping,
+    or the set-dueling wiring moves these integers and fails here.
+    """
+    from repro.sim import AddressSpace, CacheConfig, SetAssociativeCache
+    from repro.sim import spmv_trace
+
+    space = AddressSpace(golden_rmat.num_vertices, golden_rmat.num_edges)
+    lines = spmv_trace(golden_rmat, space).lines
+    computed = {"num_accesses": int(lines.shape[0])}
+    for policy in ("brrip", "drrip"):
+        for seed in (0, 7):
+            cache = SetAssociativeCache(
+                CacheConfig(num_sets=4, ways=2, policy=policy, seed=seed)
+            )
+            result = cache.simulate(lines, kernel="reference")
+            computed[f"{policy}-seed{seed}"] = {
+                "misses": int(lines.shape[0] - int(result.hits.sum())),
+                "psel": int(cache._psel),
+                # Position-weighted hit checksum: moves if any single
+                # hit bit flips, not just the aggregate count.
+                "hit_checksum": int(np.flatnonzero(result.hits).sum()),
+            }
+    check_golden("bimodal_draws", computed, update_golden)
+
+
 def test_golden_fixtures_are_committed():
     """The fixtures must ship with the repo, not appear on first run."""
-    expected = {"fig3_aid.json", "table5_ecs.json", "fig1_missrate.json"}
+    expected = {
+        "fig3_aid.json",
+        "table5_ecs.json",
+        "fig1_missrate.json",
+        "bimodal_draws.json",
+    }
     present = {path.name for path in GOLDEN_DIR.glob("*.json")}
     assert expected <= present, f"missing golden fixtures: {expected - present}"

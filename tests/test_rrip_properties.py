@@ -7,10 +7,18 @@ repo's implementation.  Here the reference loop is checked against an
 paper [Jaleel et al., ISCA'10]: per-set (tag, rrpv) pair lists, linear
 victim scan, explicit aging, and a plainly-coded set-dueling PSEL.
 
+The bimodal draw stream is likewise re-implemented from its written
+specification (the splitmix64 counter-hash documented in
+``repro.sim._draws``) rather than imported, so a draw bug would have to
+be a shared misreading of the spec.  Draws are keyed by *access
+position* — the oracle's lifetime access counter — never by miss rank,
+and never from a finite recycled pool; the long-trace cases below run
+past the old 2**16 pool size to pin that wraparound bugs cannot return.
+
 Alongside bit-exactness, the oracle asserts the DRRIP structural
 invariants on every access: the dueling counter stays saturated inside
-``[0, PSEL_MAX]``, leaders update it in the right direction, and the
-SRRIP/BRRIP leader sets are disjoint.
+``[0, PSEL_MAX]``, leaders update it in the right direction, followers
+never touch it, and the SRRIP/BRRIP leader sets are disjoint.
 """
 
 from __future__ import annotations
@@ -20,7 +28,6 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.sim.cache import (
-    _BRRIP_LONG_PROB,
     _DUEL_PERIOD,
     _PSEL_INIT,
     _PSEL_MAX,
@@ -28,6 +35,27 @@ from repro.sim.cache import (
     CacheConfig,
     SetAssociativeCache,
 )
+
+_MASK64 = (1 << 64) - 1
+
+
+def _oracle_mix(z: int) -> int:
+    """splitmix64 finalizer, written independently from the draw spec."""
+    z = ((z ^ (z >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+    z = ((z ^ (z >> 27)) * 0x94D049BB133111EB) & _MASK64
+    return z ^ (z >> 31)
+
+
+def _oracle_long_draw(seed: int, pos: int) -> bool:
+    """Draw for access position ``pos``: long insert with probability 1/32.
+
+    Per the spec: key = mix((seed+1)*GAMMA); word = mix(key + pos*GAMMA);
+    long iff the 64-bit word falls in the lowest 1/32 of the space.
+    """
+    gamma = 0x9E3779B97F4A7C15
+    key = _oracle_mix(((seed + 1) * gamma) & _MASK64)
+    word = _oracle_mix((key + (pos * gamma)) & _MASK64)
+    return word < (1 << 59)
 
 
 def _leader_roles(num_sets: int, policy: str) -> list:
@@ -46,8 +74,9 @@ class RRIPOracle:
     """Brute-force RRIP simulator: one (tag, rrpv) pair list per set.
 
     Deliberately structured differently from the repo implementation
-    (pair lists and linear scans instead of parallel tag/rrpv lists), so
-    a shared bug would have to be a shared misreading of the paper.
+    (pair lists and linear scans instead of parallel tag/rrpv lists,
+    scalar pure-Python draw hashing instead of vectorized NumPy), so a
+    shared bug would have to be a shared misreading of the paper.
     """
 
     def __init__(self, num_sets: int, ways: int, policy: str, seed: int) -> None:
@@ -59,8 +88,8 @@ class RRIPOracle:
         ]
         self.psel = _PSEL_INIT
         self.psel_seen = [self.psel]
-        self.draws = np.random.default_rng(seed).random(1 << 16)
-        self.cursor = 0
+        self.seed = seed
+        self.pos = 0  # lifetime access counter: keys the bimodal draws
         self.roles = _leader_roles(num_sets, policy)
 
     def _insertion_uses_brrip(self, set_index: int) -> bool:
@@ -80,6 +109,8 @@ class RRIPOracle:
         return self.psel >= _PSEL_INIT
 
     def access(self, line: int) -> bool:
+        pos = self.pos
+        self.pos += 1
         ways = self.sets[line % self.num_sets]
         for entry in ways:
             if entry[0] == line:
@@ -91,9 +122,10 @@ class RRIPOracle:
                 entry[1] += 1
         victim = next(entry for entry in ways if entry[1] == _RRPV_MAX)
         if self._insertion_uses_brrip(line % self.num_sets):
-            draw = self.draws[self.cursor]
-            self.cursor = (self.cursor + 1) % self.draws.shape[0]
-            insert = _RRPV_MAX - 1 if draw < _BRRIP_LONG_PROB else _RRPV_MAX
+            # Keyed by this access's position — a hit elsewhere in the
+            # trace can never shift this decision (no miss-rank coupling).
+            long = _oracle_long_draw(self.seed, pos)
+            insert = _RRPV_MAX - 1 if long else _RRPV_MAX
         else:
             insert = _RRPV_MAX - 1
         victim[0] = line
@@ -108,6 +140,11 @@ geometries = st.tuples(
     st.sampled_from([1, 2, 4, 8, 33, 64]),  # num_sets (33: ragged duel period)
     st.sampled_from([1, 2, 3, 4, 8]),  # ways
 )
+
+# Long-trace geometries are shrunk so the pure-Python oracle stays fast
+# while every access still lands in a tiny, heavily-reused set — the
+# regime where recycled draws corrupted insertions before the re-key.
+long_geometries = st.sampled_from([(1, 2), (2, 2), (4, 1)])
 
 
 def _random_trace(rng: np.random.Generator, n: int, space: int, skew: bool) -> np.ndarray:
@@ -141,7 +178,39 @@ class TestOracleEquivalence:
         assert np.array_equal(result.hits, oracle_hits)
         assert int(result.hits.sum()) == int(oracle_hits.sum())
         assert cache._psel == oracle.psel
-        assert cache._draw_cursor == oracle.cursor
+        assert cache._access_pos == oracle.pos == n
+
+    @settings(max_examples=8, deadline=None)
+    @given(
+        policy=st.sampled_from(["brrip", "drrip"]),
+        geom=long_geometries,
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+        n=st.integers(min_value=(1 << 16) + 1, max_value=(1 << 16) + 8192),
+    )
+    def test_long_traces_match_oracle_past_old_pool(self, policy, geom, seed, n):
+        """Traces longer than the retired 2**16 draw pool stay bit-exact.
+
+        Under the old miss-rank pool these traces wrapped the draw
+        cursor and silently recycled insertion decisions; the position
+        hash has no pool to wrap, and reference, kernel and oracle must
+        agree access-for-access all the way through.
+        """
+        num_sets, ways = geom
+        rng = np.random.default_rng(seed)
+        lines = _random_trace(rng, n, max(2, num_sets * ways * 4), skew=False)
+        config = CacheConfig(
+            num_sets=num_sets, ways=ways, policy=policy, seed=seed % 11
+        )
+        ref = SetAssociativeCache(config)
+        ker = SetAssociativeCache(config)
+        oracle = RRIPOracle(num_sets, ways, policy, seed=seed % 11)
+        result = ref.simulate(lines, kernel="reference")
+        forced = ker.simulate(lines, kernel="kernel")
+        oracle_hits = oracle.simulate(lines)
+        assert np.array_equal(result.hits, oracle_hits)
+        assert np.array_equal(forced.hits, oracle_hits)
+        assert ref._psel == ker._psel == oracle.psel
+        assert ref._access_pos == ker._access_pos == oracle.pos == n
 
     @settings(max_examples=60, deadline=None)
     @given(
@@ -158,21 +227,46 @@ class TestOracleEquivalence:
         for line in _random_trace(rng, n, 64, skew=False).tolist():
             assert cache.access(line) == oracle.access(line)
             assert 0 <= cache._psel <= _PSEL_MAX
+        assert cache._access_pos == oracle.pos == n
 
     @settings(max_examples=40, deadline=None)
     @given(
         seed=st.integers(min_value=0, max_value=2**31 - 1),
         n=st.integers(min_value=32, max_value=512),
     )
-    def test_brrip_draw_consumption_equals_misses(self, seed, n):
-        """Every BRRIP miss consumes exactly one draw, hits consume none."""
+    def test_draws_keyed_by_position_not_miss_rank(self, seed, n):
+        """A prefix of extra hits must not shift any later draw.
+
+        This is the decoupling property the tentpole re-key buys: under
+        the old miss-rank cursor, inserting hit-only accesses before a
+        trace left every later draw index unchanged only if they missed.
+        Here the *positions* shift, so the draw for a given line changes
+        deterministically with its position — and two caches replaying
+        the same tail at the same positions always agree, regardless of
+        their unrelated miss history.
+        """
         rng = np.random.default_rng(seed)
-        config = CacheConfig(num_sets=4, ways=2, policy="brrip", seed=1)
-        cache = SetAssociativeCache(config)
-        lines = _random_trace(rng, n, 64, skew=False)
-        result = cache.simulate(lines, kernel="reference")
-        misses = int(lines.shape[0] - result.hits.sum())
-        assert cache._draw_cursor == misses % (1 << 16)
+        tail = _random_trace(rng, n, 64, skew=False)
+        config = CacheConfig(num_sets=4, ways=2, policy="brrip", seed=3)
+        # Cache A warms up with lines it then re-hits (hit-heavy prefix);
+        # cache B misses on every prefix access (distinct cold lines).
+        # Both reach the tail at the same access position with wildly
+        # different miss counts — under miss-rank draws their tail
+        # insertions would diverge; under position draws they cannot.
+        warm = np.asarray([4, 8] * 16, dtype=np.int64)  # 2 lines, 2 ways
+        cold = (np.arange(32, dtype=np.int64) + 100) * 4  # one set, all miss
+        a = SetAssociativeCache(config)
+        b = SetAssociativeCache(config)
+        a.simulate(warm, kernel="reference")
+        b.simulate(cold, kernel="reference")
+        assert a._access_pos == b._access_pos == 32
+        # Restrict the tail to sets 1-3 so the divergent set-0 contents
+        # cannot mask draw disagreements with tag-hit differences.
+        tail = tail[tail % 4 != 0]
+        ra = a.simulate(tail, kernel="reference")
+        rb = b.simulate(tail, kernel="reference")
+        assert np.array_equal(ra.hits, rb.hits)
+        assert a._access_pos == b._access_pos
 
 
 class TestDRRIPInvariants:
@@ -218,13 +312,61 @@ class TestDRRIPInvariants:
             assert srrip_leaders == set(range(num_sets))
             assert not brrip_leaders
 
+    @settings(max_examples=40, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+        n=st.integers(min_value=16, max_value=512),
+    )
+    def test_follower_misses_never_move_psel(self, seed, n):
+        """Role invariant: only leader-set misses vote on the PSEL.
+
+        Traffic confined to follower sets — however much it misses —
+        must leave the dueling counter exactly at its initial value, in
+        both the oracle and the repo implementation.
+        """
+        num_sets = 64
+        rng = np.random.default_rng(seed)
+        cache = SetAssociativeCache(
+            CacheConfig(num_sets=num_sets, ways=2, policy="drrip", seed=1)
+        )
+        roles = np.asarray(cache._role)
+        followers = np.flatnonzero(roles == 0)
+        sets = rng.choice(followers, size=n)
+        lines = sets + num_sets * rng.integers(0, 32, size=n)
+        oracle = RRIPOracle(num_sets, 2, "drrip", seed=1)
+        result = cache.simulate(lines, kernel="reference")
+        oracle_hits = oracle.simulate(lines)
+        assert np.array_equal(result.hits, oracle_hits)
+        assert cache._psel == _PSEL_INIT
+        assert oracle.psel == _PSEL_INIT
+        assert oracle.psel_seen == [_PSEL_INIT]
+
+    def test_leader_misses_move_psel_directionally(self):
+        """SRRIP-leader thrash raises PSEL; BRRIP-leader thrash lowers it."""
+        num_sets, ways = 64, 2
+        for leader_set, cmp in ((0, "up"), (1, "down")):
+            cache = SetAssociativeCache(
+                CacheConfig(num_sets=num_sets, ways=ways, policy="drrip", seed=0)
+            )
+            working = [leader_set + num_sets * i for i in range(4 * ways)]
+            cache.simulate(np.asarray(working * 50, dtype=np.int64),
+                           kernel="reference")
+            if cmp == "up":
+                assert cache._psel > _PSEL_INIT
+            else:
+                assert cache._psel < _PSEL_INIT
+
     def test_leaders_steer_followers(self):
         """A trace that thrashes SRRIP leaders flips followers to BRRIP.
 
         Deterministic construction: hammer only the SRRIP-leader sets
         with a cyclic working set larger than the set, driving PSEL up
-        past the midpoint; follower insertions must then use BRRIP.
+        past the midpoint; a follower insertion must then use the BRRIP
+        bimodal throttle — observable as a distant (RRPV max) insertion
+        at a position whose draw is known to be short.
         """
+        from repro.sim import _draws
+
         num_sets, ways = 64, 2
         config = CacheConfig(num_sets=num_sets, ways=ways, policy="drrip", seed=0)
         cache = SetAssociativeCache(config)
@@ -235,10 +377,14 @@ class TestDRRIPInvariants:
         trace = np.asarray(working * 200, dtype=np.int64)
         cache.simulate(trace, kernel="reference")
         assert cache._psel > _PSEL_INIT  # SRRIP leaders voted against SRRIP
-        # A follower-set miss must now take the BRRIP insertion path and
-        # consume a draw.
-        before = cache._draw_cursor
+        # A follower-set miss must now take the BRRIP insertion path:
+        # at a position whose draw is short (the ~31/32 case) the line
+        # lands at RRPV max, where SRRIP would have inserted at max-1.
         follower = 2  # role 0 by construction (0 -> SRRIP, 1 -> BRRIP)
         assert cache._role[follower] == 0
-        cache.access(follower + num_sets * 1000)
-        assert cache._draw_cursor == before + 1
+        while _draws.long_insert(cache._draw_key, cache._access_pos):
+            cache.access(follower + num_sets * 999)  # burn the rare long draw
+        fresh = follower + num_sets * 1000
+        assert not cache.access(fresh)
+        way = cache._tags[follower].index(fresh)
+        assert cache._rrpv[follower][way] == _RRPV_MAX
