@@ -83,6 +83,7 @@ EXPERIMENTS: dict[str, str] = {
     "fig5": "repro.bench.experiments.fig5_degree_range",
     "fig6": "repro.bench.experiments.fig6_hub_coverage",
     "sec8_edr": "repro.bench.experiments.sec8_edr",
+    "scale_curve": "repro.bench.experiments.scale_curve",
 }
 
 

@@ -22,12 +22,21 @@ from dataclasses import dataclass
 from typing import Callable
 
 from repro.errors import ExperimentError
+from repro.graph.build import build_graph
 from repro.graph.graph import Graph
 
+from repro.generate.rmat import rmat_edges
 from repro.generate.social import social_network
 from repro.generate.webgraph import web_graph
 
-__all__ = ["DatasetSpec", "DATASETS", "dataset_names", "load_dataset", "scale_factor"]
+__all__ = [
+    "DatasetSpec",
+    "DATASETS",
+    "SCALE_DATASETS",
+    "dataset_names",
+    "load_dataset",
+    "scale_factor",
+]
 
 
 def scale_factor() -> float:
@@ -82,6 +91,21 @@ def _build_web(spec: DatasetSpec, scale: float) -> Graph:
     )
 
 
+def _build_rmat(spec: DatasetSpec, scale: float) -> Graph:
+    target = max(1024, int(spec.base_vertices * scale))
+    log_scale = max(10, int(round(math.log2(target))))
+    num_edges = int((1 << log_scale) * spec.average_degree)
+    sources, targets = rmat_edges(log_scale, num_edges, seed=spec.seed)
+    return build_graph(1 << log_scale, sources, targets, name=spec.name).graph
+
+
+_BUILDERS: dict[str, Callable[[DatasetSpec, float], Graph]] = {
+    "SN": _build_social,
+    "WG": _build_web,
+    "RM": _build_rmat,
+}
+
+
 def _spec(
     name: str,
     paper_name: str,
@@ -90,7 +114,7 @@ def _spec(
     average_degree: float,
     seed: int,
 ) -> DatasetSpec:
-    builder = _build_social if family == "SN" else _build_web
+    builder = _BUILDERS[family]
     return DatasetSpec(
         name=name,
         paper_name=paper_name,
@@ -121,19 +145,57 @@ DATASETS: dict[str, DatasetSpec] = {
 }
 
 
-def dataset_names(family: str | None = None) -> list[str]:
-    """Registry names, optionally filtered to one family ('SN'/'WG')."""
+#: Scale tier (ISSUE 7 / ROADMAP item 4): one entry per generator family
+#: at ~10⁷ edges for ``REPRO_SCALE=1``, reaching the 10⁸ band at
+#: ``REPRO_SCALE=10``.  These are the sizes where the diameter-dependence
+#: study (arXiv 2111.12281) predicts reordering rankings start to shift;
+#: run them through :func:`repro.sim.simulator.simulate_spmv_streamed`,
+#: not the materializing pipeline.
+SCALE_DATASETS: dict[str, DatasetSpec] = {
+    spec.name: spec
+    for spec in [
+        _spec("rmat-scale", "RMAT ~2^21x8", "RM", 1 << 21, 8.0, 201),
+        _spec("web-scale", "WebBase-2001", "WG", 1 << 20, 12.0, 202),
+        _spec("social-scale", "Twitter MPI", "SN", 1 << 20, 16.0, 203),
+    ]
+}
+
+_TIERS = ("mini", "scale", "all")
+
+
+def _registry(tier: str) -> dict[str, DatasetSpec]:
+    if tier == "mini":
+        return DATASETS
+    if tier == "scale":
+        return SCALE_DATASETS
+    if tier == "all":
+        return {**DATASETS, **SCALE_DATASETS}
+    raise ExperimentError(f"unknown dataset tier {tier!r}; expected one of {_TIERS}")
+
+
+def dataset_names(family: str | None = None, *, tier: str = "mini") -> list[str]:
+    """Registry names, optionally filtered to one family ('SN'/'WG'/'RM').
+
+    ``tier`` selects the registry: ``"mini"`` (default, the Table I
+    analogues), ``"scale"`` (the 10⁷–10⁸-edge tier) or ``"all"``.
+    """
+    registry = _registry(tier)
     if family is None:
-        return list(DATASETS)
-    if family not in ("SN", "WG"):
+        return list(registry)
+    if family not in _BUILDERS:
         raise ExperimentError(f"unknown dataset family: {family!r}")
-    return [name for name, spec in DATASETS.items() if spec.family == family]
+    return [name for name, spec in registry.items() if spec.family == family]
 
 
 def load_dataset(name: str, *, scale: float | None = None) -> Graph:
-    """Generate the named dataset analogue (deterministic per name)."""
-    if name not in DATASETS:
+    """Generate the named dataset analogue (deterministic per name).
+
+    Looks the name up across both tiers — mini analogues and the
+    scale-tier entries.
+    """
+    registry = _registry("all")
+    if name not in registry:
         raise ExperimentError(
-            f"unknown dataset {name!r}; available: {sorted(DATASETS)}"
+            f"unknown dataset {name!r}; available: {sorted(registry)}"
         )
-    return DATASETS[name].build(scale)
+    return registry[name].build(scale)

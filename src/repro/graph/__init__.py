@@ -16,10 +16,12 @@ from repro.graph.degrees import (
     normalized_degree_frequency,
     power_law_tail_exponent,
 )
+from repro.graph.diameter import bfs_level_histogram, effective_diameter
 from repro.graph.graph import Graph
 from repro.graph.io import (
     load_edge_list,
     load_graph_npz,
+    mmap_npz_arrays,
     save_edge_list,
     save_graph_npz,
 )
@@ -53,8 +55,11 @@ __all__ = [
     "degree_summary",
     "normalized_degree_frequency",
     "power_law_tail_exponent",
+    "bfs_level_histogram",
+    "effective_diameter",
     "load_edge_list",
     "load_graph_npz",
+    "mmap_npz_arrays",
     "save_edge_list",
     "save_graph_npz",
     "apply_to_edges",

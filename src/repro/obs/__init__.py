@@ -29,6 +29,7 @@ from repro.obs.core import (
     disable,
     enable,
     enabled,
+    peak_rss_bytes,
     recording,
     refresh_from_env,
     reset,
@@ -60,6 +61,7 @@ __all__ = [
     "completed_spans",
     "debug_counters",
     "metrics",
+    "peak_rss_bytes",
     "export_run",
     "save_run",
     "load_run",

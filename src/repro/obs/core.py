@@ -42,6 +42,7 @@ __all__ = [
     "traced",
     "completed_spans",
     "debug_counters",
+    "peak_rss_bytes",
     "reset",
 ]
 
@@ -311,3 +312,24 @@ def traced(name: "str | F | None" = None) -> "Callable[[F], F] | F":
     if callable(name):  # bare @traced
         return decorate_with(None)(name)
     return decorate_with(name)
+
+
+def peak_rss_bytes() -> Optional[int]:
+    """Lifetime peak resident-set size of this process, in bytes.
+
+    Reads ``resource.getrusage(RUSAGE_SELF).ru_maxrss`` — kilobytes on
+    Linux, bytes on macOS — and normalizes to bytes.  Returns ``None``
+    on platforms without the ``resource`` module (e.g. Windows), so the
+    environment snapshot degrades gracefully.  Note the value is a
+    high-water mark: it never decreases within a process, which is
+    exactly what the scale-tier RSS gates want to bound.
+    """
+    try:
+        import resource
+        import sys
+    except ImportError:  # pragma: no cover - non-POSIX
+        return None
+    raw = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":  # pragma: no cover - linux CI
+        return int(raw)
+    return int(raw) * 1024

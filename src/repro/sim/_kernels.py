@@ -925,13 +925,19 @@ def _segment_rrip(
 
 
 def kernel_simulate(
-    cache: SetAssociativeCache, lines: np.ndarray, scan_interval: int
+    cache: SetAssociativeCache,
+    lines: np.ndarray,
+    scan_interval: int,
+    positions: Optional[np.ndarray] = None,
 ) -> Optional[Tuple[np.ndarray, List[Tuple[int, np.ndarray]]]]:
     """Kernel-path replacement for ``SetAssociativeCache.simulate``.
 
     Returns ``(hits, snapshots)`` and mutates the cache state exactly as
     the reference loop would, or ``None`` if the kernel declined (caller
     must then run the reference loop on the *unmodified* cache).
+    ``positions`` optionally overrides the lifetime access positions the
+    BRRIP/DRRIP draws are keyed on (sharded replay of a masked global
+    stream; see :meth:`SetAssociativeCache.simulate`).
     """
     config = cache.config
     policy = config.policy
@@ -940,7 +946,7 @@ def kernel_simulate(
 
     with _obs_span("sim.kernel", policy=policy, accesses=n) as sp:
         result = _kernel_simulate_inner(
-            cache, lines, scan_interval, policy, num_sets, ways, n
+            cache, lines, scan_interval, policy, num_sets, ways, n, positions
         )
         if result is None:
             sp.set(declined=True)
@@ -956,6 +962,7 @@ def _kernel_simulate_inner(
     num_sets: int,
     ways: int,
     n: int,
+    positions: Optional[np.ndarray] = None,
 ) -> Optional[Tuple[np.ndarray, List[Tuple[int, np.ndarray]]]]:
     state_tags, state_rrpv = _state_arrays(cache)
     psel = cache._psel
@@ -964,9 +971,12 @@ def _kernel_simulate_inner(
         # Per-access bimodal draws for the whole batch, keyed by the
         # cache's lifetime access position (bit-exact with the scalar
         # and reference paths by construction — same hash, same keys).
-        long_all: Optional[np.ndarray] = _draws.long_inserts(
-            cache._draw_key, pos0, n
-        )
+        if positions is not None:
+            long_all: Optional[np.ndarray] = _draws.long_inserts_at(
+                cache._draw_key, positions
+            )
+        else:
+            long_all = _draws.long_inserts(cache._draw_key, pos0, n)
     else:
         long_all = None
     if policy == "drrip":
@@ -1007,5 +1017,9 @@ def _kernel_simulate_inner(
     # Reference LRU never touches RRPV state; keep it bit-identical.
     _write_state(cache, state_tags, state_rrpv if policy != "lru" else None)
     cache._psel = psel
-    cache._access_pos = pos0 + n
+    if positions is not None:
+        if n:
+            cache._access_pos = int(positions[-1]) + 1
+    else:
+        cache._access_pos = pos0 + n
     return hits, snapshots

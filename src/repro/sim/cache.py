@@ -209,15 +209,26 @@ class SetAssociativeCache:
         rr[victim] = insert
         return False
 
-    def resident_lines(self) -> np.ndarray:
-        """IDs of all currently resident lines (unordered, no invalids)."""
-        flat = [t for ways in self._tags for t in ways if t >= 0]
+    def resident_lines(self, set_range: "tuple[int, int] | None" = None) -> np.ndarray:
+        """IDs of currently resident lines (set-major order, no invalids).
+
+        ``set_range`` restricts the report to sets ``[lo, hi)`` — the
+        sharded simulation asks each worker for its *owned* range only,
+        so replicated leader sets never leak into merged snapshots.
+        """
+        sets = self._tags if set_range is None else self._tags[set_range[0] : set_range[1]]
+        flat = [t for ways in sets for t in ways if t >= 0]
         return np.asarray(flat, dtype=np.int64)
 
     # -- bulk simulation -------------------------------------------------------
 
     def simulate(
-        self, lines: np.ndarray, *, scan_interval: int = 0, kernel: str = "auto"
+        self,
+        lines: np.ndarray,
+        *,
+        scan_interval: int = 0,
+        kernel: str = "auto",
+        positions: "np.ndarray | None" = None,
     ) -> "SimulatedAccesses":
         """Run the trace through the cache, mutating its state.
 
@@ -235,8 +246,23 @@ class SetAssociativeCache:
             ``"reference"`` forces the per-access loop.  The
             ``REPRO_SIM_KERNEL`` environment variable overrides this
             argument (escape hatch); both paths are bit-exact.
+        positions:
+            Explicit lifetime access positions (int64, one per line,
+            strictly increasing).  By default the cache numbers accesses
+            with its own lifetime counter; a sharded replay passes the
+            *global* stream positions of its masked subsequence so the
+            BRRIP/DRRIP draws match the single-process replay bit-exactly
+            (see :mod:`repro.sim.shard`).  After the call ``_access_pos``
+            advances to ``positions[-1] + 1``.
         """
         lines = np.asarray(lines, dtype=np.int64)
+        if positions is not None:
+            positions = np.asarray(positions, dtype=np.int64)
+            if positions.shape[0] != lines.shape[0]:
+                raise SimulationError(
+                    "positions must have one entry per access, got "
+                    f"{positions.shape[0]} for {lines.shape[0]} accesses"
+                )
         # One guarded per-batch increment; the per-access loops below
         # stay uninstrumented so the disabled path is untouched.
         if _obs_enabled():
@@ -246,7 +272,9 @@ class SetAssociativeCache:
             if mode == "kernel" or _kernels.kernel_profitable(
                 self.config, lines, scan_interval
             ):
-                res = _kernels.kernel_simulate(self, lines, scan_interval)
+                res = _kernels.kernel_simulate(
+                    self, lines, scan_interval, positions=positions
+                )
                 if res is not None:
                     hits, raw_snaps = res
                     if _obs_enabled():
@@ -266,10 +294,13 @@ class SetAssociativeCache:
                 _warn_kernel_fallback(self.config.policy, mode)
         if _obs_enabled():
             _obs_metrics.registry.counter("cache.reference_batches").inc()
-        return self._simulate_reference(lines, scan_interval)
+        return self._simulate_reference(lines, scan_interval, positions)
 
     def _simulate_reference(
-        self, lines: np.ndarray, scan_interval: int = 0
+        self,
+        lines: np.ndarray,
+        scan_interval: int = 0,
+        positions: "np.ndarray | None" = None,
     ) -> "SimulatedAccesses":
         """The original per-access loop — kept as the bit-exact oracle."""
         num_accesses = lines.shape[0]
@@ -302,13 +333,16 @@ class SetAssociativeCache:
             # Per-access draws for this batch, precomputed with the same
             # vectorized hash the kernels use (bit-exact with the scalar
             # access() path by construction).  SRRIP never reads them.
-            long_ins: list[bool] = (
-                []
-                if srrip_only
-                else _draws.long_inserts(
+            if srrip_only:
+                long_ins: list[bool] = []
+            elif positions is not None:
+                long_ins = _draws.long_inserts_at(
+                    self._draw_key, positions
+                ).tolist()
+            else:
+                long_ins = _draws.long_inserts(
                     self._draw_key, self._access_pos, num_accesses
                 ).tolist()
-            )
             for i, line in enumerate(lines_list):
                 s = line % num_sets
                 ts = tags[s]
@@ -354,7 +388,11 @@ class SetAssociativeCache:
                     snapshots.append(CacheSnapshot(i + 1, self.resident_lines()))
 
         self._psel = psel
-        self._access_pos += num_accesses
+        if positions is not None:
+            if num_accesses:
+                self._access_pos = int(positions[-1]) + 1
+        else:
+            self._access_pos += num_accesses
         return SimulatedAccesses(hits=hits, snapshots=snapshots)
 
 

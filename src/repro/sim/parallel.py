@@ -12,13 +12,20 @@ stream the shared-cache simulator consumes.
 
 from __future__ import annotations
 
+from typing import Iterable, Iterator
+
 import numpy as np
 
 from repro.errors import SimulationError
 from repro.graph.graph import Graph
 from repro.sim.trace import MemoryTrace
 
-__all__ = ["edge_balanced_partitions", "interleave_traces", "partition_edge_counts"]
+__all__ = [
+    "edge_balanced_partitions",
+    "interleave_stream",
+    "interleave_traces",
+    "partition_edge_counts",
+]
 
 
 def edge_balanced_partitions(graph: Graph, num_parts: int, *, direction: str = "pull") -> np.ndarray:
@@ -85,3 +92,131 @@ def interleave_traces(
         space=traces[0].space,
     )
     return merged, threads[order]
+
+
+def interleave_stream(
+    sources: "list[Iterable[MemoryTrace]]",
+    interval: int,
+    *,
+    batch_accesses: int = 1 << 20,
+) -> Iterator[tuple[MemoryTrace, np.ndarray]]:
+    """Streaming :func:`interleave_traces`: merge per-thread *chunk streams*.
+
+    Each source is an iterable of :class:`MemoryTrace` blocks (typically
+    :func:`repro.sim.trace.spmv_trace_chunks` over one thread partition).
+    Yields ``(merged_chunk, thread_ids)`` pairs whose concatenation is
+    **bit-identical** to ``interleave_traces(materialized, interval)``,
+    while only ever buffering ~``batch_accesses`` accesses.
+
+    Correctness hinges on emitting only *complete rounds*: a batch
+    contains every access with round index below ``r_safe`` — the
+    minimum of ``(consumed + buffered) // interval`` over threads whose
+    stream may still produce more accesses.  Threads that finished early
+    also emit at most up to ``r_safe`` rounds, because their remaining
+    accesses belong to later rounds that slower threads must fill first.
+    Within a batch the merge key (``round * num_threads + thread``,
+    stable sort, thread-order concatenation) matches the reference
+    exactly, so each batch is a contiguous slice of the reference output.
+    """
+    if not sources:
+        raise SimulationError("need at least one trace stream to interleave")
+    if interval <= 0:
+        raise SimulationError(f"interval must be positive, got {interval}")
+    if batch_accesses <= 0:
+        raise SimulationError(f"batch_accesses must be positive, got {batch_accesses}")
+    num_threads = len(sources)
+    streams = [iter(s) for s in sources]
+    alive = [True] * num_threads
+    # Per-thread buffer of (lines, kinds, read_vertex, proc_vertex) blocks.
+    bufs: list[list[tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]]] = [
+        [] for _ in range(num_threads)
+    ]
+    buffered = [0] * num_threads
+    consumed = [0] * num_threads
+    space = None
+
+    def _pull(t: int) -> None:
+        nonlocal space
+        try:
+            chunk = next(streams[t])
+        except StopIteration:
+            alive[t] = False
+            return
+        if space is None:
+            space = chunk.space
+        if len(chunk):
+            bufs[t].append((chunk.lines, chunk.kinds, chunk.read_vertex, chunk.proc_vertex))
+            buffered[t] += len(chunk)
+
+    def _take(t: int, want: int) -> list[tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]]:
+        taken: list[tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]] = []
+        left = want
+        while left > 0:
+            block = bufs[t][0]
+            size = block[0].shape[0]
+            if size <= left:
+                taken.append(bufs[t].pop(0))
+                left -= size
+            else:
+                taken.append(tuple(arr[:left] for arr in block))  # type: ignore[arg-type]
+                bufs[t][0] = tuple(arr[left:] for arr in block)  # type: ignore[assignment]
+                left = 0
+        buffered[t] -= want
+        return taken
+
+    # Each alive thread is topped up to >= one interval past the current
+    # round frontier, so r_safe strictly advances every iteration and the
+    # loop terminates once all streams drain.
+    target = max(interval, batch_accesses // num_threads)
+    while True:
+        for t in range(num_threads):
+            while alive[t] and buffered[t] < target:
+                _pull(t)
+        if any(alive):
+            r_safe = min(
+                (consumed[t] + buffered[t]) // interval
+                for t in range(num_threads)
+                if alive[t]
+            )
+            counts = [
+                min(buffered[t], max(0, r_safe * interval - consumed[t]))
+                for t in range(num_threads)
+            ]
+        else:
+            counts = list(buffered)
+        total = sum(counts)
+        if total == 0:
+            if not any(alive):
+                return
+            continue
+
+        part_arrays: list[list[np.ndarray]] = [[], [], [], []]
+        rounds_parts: list[np.ndarray] = []
+        threads_parts: list[np.ndarray] = []
+        for t in range(num_threads):
+            k = counts[t]
+            if not k:
+                continue
+            local = consumed[t] + np.arange(k, dtype=np.int64)
+            rounds_parts.append(local // interval)
+            threads_parts.append(np.full(k, t, dtype=np.int64))
+            for blk in _take(t, k):
+                for slot, arr in zip(part_arrays, blk):
+                    slot.append(arr)
+            consumed[t] += k
+        rounds = np.concatenate(rounds_parts)
+        threads = np.concatenate(threads_parts)
+        order = np.argsort(rounds * num_threads + threads, kind="stable")
+        assert space is not None
+        yield (
+            MemoryTrace(
+                lines=np.concatenate(part_arrays[0])[order],
+                kinds=np.concatenate(part_arrays[1])[order],
+                read_vertex=np.concatenate(part_arrays[2])[order],
+                proc_vertex=np.concatenate(part_arrays[3])[order],
+                space=space,
+            ),
+            threads[order],
+        )
+        if not any(alive) and not any(buffered):
+            return

@@ -25,18 +25,29 @@ from repro.obs import span
 
 from repro.sim.address_space import AddressSpace, Region
 from repro.sim.cache import CacheConfig, CacheSnapshot, SetAssociativeCache
-from repro.sim.parallel import edge_balanced_partitions, interleave_traces
+from repro.sim.parallel import (
+    edge_balanced_partitions,
+    interleave_stream,
+    interleave_traces,
+)
 from repro.sim.scheduler import (
     ScheduleResult,
     cost_balanced_chunks,
     simulate_work_stealing,
 )
+from repro.sim.shard import ShardedSimulation, simulate_sharded
 from repro.sim.stats import VertexAccessStats, attribute_random_accesses
 from repro.sim.timing import TimingModel
-from repro.sim.tlb import TLBConfig, simulate_tlb
-from repro.sim.trace import MemoryTrace, spmv_trace
+from repro.sim.tlb import TLBConfig, lines_to_pages, simulate_tlb
+from repro.sim.trace import MemoryTrace, spmv_trace, spmv_trace_chunks
 
-__all__ = ["SimulationConfig", "SimulationResult", "simulate_spmv"]
+__all__ = [
+    "SimulationConfig",
+    "SimulationResult",
+    "StreamedSimulationResult",
+    "simulate_spmv",
+    "simulate_spmv_streamed",
+]
 
 
 @dataclass(frozen=True)
@@ -276,4 +287,197 @@ def simulate_spmv(
         snapshots=outcome.snapshots,
         tlb_misses=tlb_misses,
         partition_boundaries=boundaries,
+    )
+
+
+@dataclass
+class StreamedSimulationResult:
+    """Headline outcome of one *streamed* (scale-tier) SpMV simulation.
+
+    Unlike :class:`SimulationResult` this never retains the trace, so
+    per-vertex attribution (``random_stats`` / ``schedule``) is not
+    available — only the aggregate counters the scaling-curve experiment
+    needs: per-region access/hit counts, ECS snapshots, TLB misses and
+    the shard-merge bookkeeping.
+    """
+
+    graph: Graph
+    config: SimulationConfig
+    space: AddressSpace
+    region_accesses: np.ndarray
+    region_hits: np.ndarray
+    snapshots: list[CacheSnapshot]
+    tlb_misses: int
+    partition_boundaries: np.ndarray
+    shard: ShardedSimulation
+
+    @property
+    def num_accesses(self) -> int:
+        return int(self.region_accesses.sum())
+
+    @property
+    def num_hits(self) -> int:
+        return int(self.region_hits.sum())
+
+    @property
+    def l3_misses(self) -> int:
+        return self.num_accesses - self.num_hits
+
+    @property
+    def random_region(self) -> int:
+        return (
+            Region.VERTEX_DATA if self.config.direction == "pull" else Region.VERTEX_OUT
+        )
+
+    @property
+    def random_accesses(self) -> int:
+        return int(self.region_accesses[self.random_region])
+
+    @property
+    def random_misses(self) -> int:
+        return int(
+            self.region_accesses[self.random_region]
+            - self.region_hits[self.random_region]
+        )
+
+    @property
+    def random_miss_rate(self) -> float:
+        accesses = self.random_accesses
+        if accesses == 0:
+            return 0.0
+        return self.random_misses / accesses
+
+    def effective_cache_size_samples(self) -> np.ndarray:
+        """Per-snapshot ECS percentage (same maths as the retained path)."""
+        if not self.snapshots:
+            return np.zeros(0, dtype=np.float64)
+        capacity = self.config.cache.num_lines
+        counts = self.space.region_counts_batch(
+            [snap.resident_lines for snap in self.snapshots]
+        )
+        return counts[:, self.random_region] / capacity * 100.0
+
+    def effective_cache_size(self) -> float:
+        samples = self.effective_cache_size_samples()
+        if samples.size == 0:
+            raise SimulationError(
+                "no snapshots recorded; run with scan_interval > 0 to measure ECS"
+            )
+        return float(samples.mean())
+
+
+def simulate_spmv_streamed(
+    graph: Graph,
+    config: SimulationConfig | None = None,
+    *,
+    num_shards: int = 1,
+    shard_mode: str = "serial",
+    chunk_accesses: int = 1 << 20,
+    kernel: str = "auto",
+    **scaled_kwargs: Any,
+) -> StreamedSimulationResult:
+    """Scale-tier :func:`simulate_spmv`: bounded memory, optional sharding.
+
+    The pipeline is trace chunks (:func:`spmv_trace_chunks`, one stream
+    per thread partition) -> streaming round-robin interleave
+    (:func:`interleave_stream`) -> set-sharded replay
+    (:func:`simulate_sharded`).  Every stage holds O(``chunk_accesses``)
+    state; only the final hit bits (1 byte/access) and per-chunk kind
+    codes survive to the end for region accounting.
+
+    Headline counters are **bit-identical** to :func:`simulate_spmv`
+    with the same config, for any ``num_shards``/``chunk_accesses``
+    (property-tested in ``tests/test_shard.py``).
+    """
+    if config is None:
+        config = SimulationConfig.scaled_for(graph, **scaled_kwargs)
+    elif scaled_kwargs:
+        raise SimulationError("pass either a config or scaling kwargs, not both")
+
+    with span(
+        "sim.spmv_streamed",
+        vertices=graph.num_vertices,
+        edges=graph.num_edges,
+        policy=config.cache.policy,
+        threads=config.num_threads,
+        shards=num_shards,
+    ):
+        space = AddressSpace(
+            graph.num_vertices, graph.num_edges, line_size=config.cache.line_size
+        )
+        boundaries = edge_balanced_partitions(
+            graph, config.num_threads, direction=config.direction
+        )
+        sources = [
+            spmv_trace_chunks(
+                graph,
+                space,
+                direction=config.direction,
+                vertex_range=(int(boundaries[t]), int(boundaries[t + 1])),
+                promote_sequential=config.promote_sequential,
+                max_accesses=max(1, chunk_accesses // config.num_threads),
+            )
+            for t in range(config.num_threads)
+        ]
+        stream = interleave_stream(
+            sources, config.interleave_interval, batch_accesses=chunk_accesses
+        )
+
+        kind_parts: list[np.ndarray] = []
+        tlb_cache: SetAssociativeCache | None = None
+        if config.tlb is not None:
+            tlb_cache = SetAssociativeCache(
+                CacheConfig(
+                    num_sets=config.tlb.num_sets,
+                    ways=config.tlb.ways,
+                    line_size=64,
+                    policy="lru",
+                )
+            )
+        tlb_misses = 0
+
+        def _line_chunks() -> "Any":
+            nonlocal tlb_misses
+            for merged, _tids in stream:
+                kind_parts.append(merged.kinds)
+                if tlb_cache is not None and config.tlb is not None:
+                    pages = lines_to_pages(
+                        merged.lines, config.cache.line_size, config.tlb.page_size
+                    )
+                    tlb_res = tlb_cache.simulate(pages)
+                    tlb_misses += tlb_res.num_misses
+                yield merged.lines
+
+        sharded = simulate_sharded(
+            _line_chunks(),
+            config.cache,
+            num_shards=num_shards,
+            scan_interval=config.scan_interval,
+            mode=shard_mode,
+            kernel=kernel,
+        )
+
+        kinds = (
+            np.concatenate(kind_parts) if kind_parts else np.zeros(0, dtype=np.uint8)
+        )
+        region_accesses = np.bincount(kinds, minlength=Region.COUNT).astype(np.int64)
+        region_hits = np.bincount(
+            kinds, weights=sharded.hits.astype(np.float64), minlength=Region.COUNT
+        ).astype(np.int64)
+
+        if obs_enabled():
+            obs_metrics.registry.counter("sim.accesses").inc(sharded.num_accesses)
+            obs_metrics.registry.counter("sim.l3_misses").inc(sharded.num_misses)
+            obs_metrics.registry.counter("sim.tlb_misses").inc(tlb_misses)
+
+    return StreamedSimulationResult(
+        graph=graph,
+        config=config,
+        space=space,
+        region_accesses=region_accesses,
+        region_hits=region_hits,
+        snapshots=sharded.snapshots,
+        tlb_misses=tlb_misses,
+        partition_boundaries=boundaries,
+        shard=sharded,
     )

@@ -24,6 +24,7 @@ every metric in the paper attributes and bins.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Iterable, Iterator
 
 import numpy as np
 
@@ -32,7 +33,7 @@ from repro.graph.graph import Graph
 
 from repro.sim.address_space import AddressSpace, Region
 
-__all__ = ["MemoryTrace", "spmv_trace", "concatenate_traces"]
+__all__ = ["MemoryTrace", "spmv_trace", "spmv_trace_chunks", "concatenate_traces"]
 
 
 @dataclass
@@ -78,47 +79,49 @@ class MemoryTrace:
         return self.kinds == Region.VERTEX_DATA
 
 
-def spmv_trace(
-    graph: Graph,
-    space: AddressSpace | None = None,
-    *,
-    direction: str = "pull",
-    vertex_range: tuple[int, int] | None = None,
-    promote_sequential: bool = True,
-) -> MemoryTrace:
-    """Generate the SpMV access trace of one traversal (or a slice of it).
-
-    Parameters
-    ----------
-    direction:
-        ``"pull"`` — CSC traversal, random *reads* of in-neighbour data
-        (Algorithm 1); ``"push"`` — CSR traversal, random *writes* of
-        out-neighbour data.
-    vertex_range:
-        Half-open ``[start, end)`` slice of the processing order; used by
-        the parallel simulation to emit one trace per thread partition.
-    promote_sequential:
-        Emit each newly-entered sequential line twice (see module doc).
-    """
+def _resolve_direction(graph: Graph, direction: str) -> tuple:
+    """``(adjacency, random_region)`` for a traversal direction."""
     if direction == "pull":
-        adj = graph.in_adj
-        random_region = Region.VERTEX_DATA
-    elif direction == "push":
-        adj = graph.out_adj
-        random_region = Region.VERTEX_OUT
-    else:
-        raise SimulationError(f"direction must be 'pull' or 'push', got {direction!r}")
-    if space is None:
-        space = AddressSpace(graph.num_vertices, graph.num_edges)
+        return graph.in_adj, Region.VERTEX_DATA
+    if direction == "push":
+        return graph.out_adj, Region.VERTEX_OUT
+    raise SimulationError(f"direction must be 'pull' or 'push', got {direction!r}")
 
-    n = graph.num_vertices
-    if vertex_range is None:
-        start, end = 0, n
-    else:
-        start, end = vertex_range
-        if not (0 <= start <= end <= n):
-            raise SimulationError(f"vertex_range {vertex_range} outside [0, {n}]")
 
+@dataclass
+class _DedupCarry:
+    """Last raw line of each sequential part stream, carried across chunks.
+
+    The sequential dedup rule keeps element ``i`` iff its line differs
+    from element ``i-1``'s — over the *whole* vertex range, so a chunked
+    generation must remember the previous chunk's last raw (pre-dedup)
+    line per stream.  ``-1`` (no previous element) keeps the first one.
+    """
+
+    off_line: int = -1
+    edge_line: int = -1
+    own_line: int = -1
+
+
+def _range_parts(
+    graph: Graph,
+    space: AddressSpace,
+    direction: str,
+    start: int,
+    end: int,
+    promote_sequential: bool,
+    carry: _DedupCarry,
+) -> tuple[list[np.ndarray], list[np.ndarray], list[np.ndarray], list[np.ndarray], list[np.ndarray]]:
+    """Unsorted trace parts (+ sort positions) for vertices ``[start, end)``.
+
+    Mutates ``carry`` to the last raw line of each sequential stream so a
+    following call continues the dedup exactly where this one stopped.
+    Part order is significant: the stable position sort breaks ties by
+    part order, and ties only ever occur *within* one access kind (the
+    mod-10 position residues are distinct per kind), where part-internal
+    index order is already correct.
+    """
+    adj, random_region = _resolve_direction(graph, direction)
     offsets = adj.offsets
     vertices = np.arange(start, end, dtype=np.int64)
     edge_lo, edge_hi = int(offsets[start]), int(offsets[end])
@@ -153,7 +156,9 @@ def spmv_trace(
     if vertices.size:
         off_lines = space.offsets_lines(vertices)
         keep = np.ones(vertices.size, dtype=bool)
+        keep[0] = int(off_lines[0]) != carry.off_line
         keep[1:] = off_lines[1:] != off_lines[:-1]
+        carry.off_line = int(off_lines[-1])
         pos = offsets[vertices] * 10
         _add(off_lines[keep], Region.OFFSETS, minus_one(int(keep.sum())),
              vertices[keep], pos[keep])
@@ -162,7 +167,9 @@ def spmv_trace(
     if edge_indices.size:
         e_lines = space.edges_lines(edge_indices)
         keep = np.ones(edge_indices.size, dtype=bool)
+        keep[0] = int(e_lines[0]) != carry.edge_line
         keep[1:] = e_lines[1:] != e_lines[:-1]
+        carry.edge_line = int(e_lines[-1])
         kept_lines = e_lines[keep]
         kept_proc = processed[keep]
         kept_pos = edge_indices[keep] * 10 + 1
@@ -186,20 +193,72 @@ def spmv_trace(
     if vertices.size:
         if direction == "pull":
             own_lines = space.out_lines(vertices)
-            own_region = Region.VERTEX_OUT
+            own_region = int(Region.VERTEX_OUT)
         else:
             own_lines = space.data_lines(vertices)
-            own_region = Region.VERTEX_DATA
+            own_region = int(Region.VERTEX_DATA)
         keep = np.ones(vertices.size, dtype=bool)
+        keep[0] = int(own_lines[0]) != carry.own_line
         keep[1:] = own_lines[1:] != own_lines[:-1]
+        carry.own_line = int(own_lines[-1])
         pos = offsets[vertices + 1] * 10 + 9
         _add(own_lines[keep], own_region, minus_one(int(keep.sum())),
              vertices[keep], pos[keep])
 
+    return parts_lines, parts_kinds, parts_read, parts_proc, parts_pos
+
+
+def _resolve_range(
+    graph: Graph, vertex_range: tuple[int, int] | None
+) -> tuple[int, int]:
+    n = graph.num_vertices
+    if vertex_range is None:
+        return 0, n
+    start, end = vertex_range
+    if not (0 <= start <= end <= n):
+        raise SimulationError(f"vertex_range {vertex_range} outside [0, {n}]")
+    return start, end
+
+
+def _empty_trace(space: AddressSpace) -> MemoryTrace:
+    empty64 = np.zeros(0, dtype=np.int64)
+    return MemoryTrace(empty64, np.zeros(0, dtype=np.uint8), empty64.copy(),
+                       empty64.copy(), space)
+
+
+def spmv_trace(
+    graph: Graph,
+    space: AddressSpace | None = None,
+    *,
+    direction: str = "pull",
+    vertex_range: tuple[int, int] | None = None,
+    promote_sequential: bool = True,
+) -> MemoryTrace:
+    """Generate the SpMV access trace of one traversal (or a slice of it).
+
+    Parameters
+    ----------
+    direction:
+        ``"pull"`` — CSC traversal, random *reads* of in-neighbour data
+        (Algorithm 1); ``"push"`` — CSR traversal, random *writes* of
+        out-neighbour data.
+    vertex_range:
+        Half-open ``[start, end)`` slice of the processing order; used by
+        the parallel simulation to emit one trace per thread partition.
+    promote_sequential:
+        Emit each newly-entered sequential line twice (see module doc).
+    """
+    _resolve_direction(graph, direction)  # validate early
+    if space is None:
+        space = AddressSpace(graph.num_vertices, graph.num_edges)
+    start, end = _resolve_range(graph, vertex_range)
+
+    parts = _range_parts(
+        graph, space, direction, start, end, promote_sequential, _DedupCarry()
+    )
+    parts_lines, parts_kinds, parts_read, parts_proc, parts_pos = parts
     if not parts_lines:
-        empty64 = np.zeros(0, dtype=np.int64)
-        return MemoryTrace(empty64, np.zeros(0, dtype=np.uint8), empty64.copy(),
-                           empty64.copy(), space)
+        return _empty_trace(space)
 
     lines = np.concatenate(parts_lines)
     kinds = np.concatenate(parts_kinds)
@@ -216,17 +275,176 @@ def spmv_trace(
     )
 
 
-def concatenate_traces(traces: list[MemoryTrace]) -> MemoryTrace:
-    """Join traces back-to-back (they must share an address space)."""
-    if not traces:
+def spmv_trace_chunks(
+    graph: Graph,
+    space: AddressSpace | None = None,
+    *,
+    direction: str = "pull",
+    vertex_range: tuple[int, int] | None = None,
+    promote_sequential: bool = True,
+    max_accesses: int = 1 << 20,
+) -> Iterator[MemoryTrace]:
+    """Stream the SpMV trace as bounded :class:`MemoryTrace` blocks.
+
+    Concatenating the yielded blocks reproduces :func:`spmv_trace` for
+    the same arguments **bit-exactly**, but peak memory is O(chunk)
+    instead of O(edges): each block covers a contiguous vertex
+    sub-range sized to roughly ``max_accesses`` accesses.
+
+    Two mechanisms keep the chunk seams invisible:
+
+    1. **Dedup carry** — the sequential-stream dedup masks compare each
+       chunk's first line against the previous chunk's last raw line
+       (:class:`_DedupCarry`), not against nothing.
+    2. **Pending buffer** — a boundary vertex's trailing accesses (its
+       own-vertex write at position ``offsets[b]*10+9``, and zero-degree
+       offsets reads at ``offsets[b]*10``) sort *after* the next chunk's
+       first accesses.  Such accesses (position >= the next chunk's
+       ``offsets[b]*10`` cut) are held back and prepended as the first
+       part of the next chunk before its stable sort; ties only occur
+       within one access kind, where the held-back accesses have lower
+       vertex indices and part order reproduces the global tie-break.
+    """
+    _resolve_direction(graph, direction)  # validate early
+    if space is None:
+        space = AddressSpace(graph.num_vertices, graph.num_edges)
+    start, end = _resolve_range(graph, vertex_range)
+    if max_accesses <= 0:
+        raise SimulationError(f"max_accesses must be positive, got {max_accesses}")
+    if start == end:
+        return
+
+    adj, _ = _resolve_direction(graph, direction)
+    offsets = adj.offsets
+    # ~3 accesses per edge (edge read + promotion + random) dominates; a
+    # vertex budget bounds chunks over long zero-degree runs.
+    edge_budget = max(1, max_accesses // 3)
+    vertex_budget = max(1, max_accesses // 2)
+
+    carry = _DedupCarry()
+    pend_lines = np.zeros(0, dtype=np.int64)
+    pend_kinds = np.zeros(0, dtype=np.uint8)
+    pend_read = np.zeros(0, dtype=np.int64)
+    pend_proc = np.zeros(0, dtype=np.int64)
+    pend_pos = np.zeros(0, dtype=np.int64)
+
+    a = start
+    while a < end:
+        b = int(
+            np.searchsorted(offsets, int(offsets[a]) + edge_budget, side="right")
+        ) - 1
+        b = min(max(b, a + 1), end, a + vertex_budget)
+
+        parts = _range_parts(
+            graph, space, direction, a, b, promote_sequential, carry
+        )
+        parts_lines, parts_kinds, parts_read, parts_proc, parts_pos = parts
+        # The pending part goes *first* so the stable sort puts held-back
+        # accesses ahead of this chunk's on position ties (lower indices).
+        parts_lines.insert(0, pend_lines)
+        parts_kinds.insert(0, pend_kinds)
+        parts_read.insert(0, pend_read)
+        parts_proc.insert(0, pend_proc)
+        parts_pos.insert(0, pend_pos)
+
+        lines = np.concatenate(parts_lines)
+        kinds = np.concatenate(parts_kinds)
+        read_vertex = np.concatenate(parts_read)
+        proc_vertex = np.concatenate(parts_proc)
+        positions = np.concatenate(parts_pos)
+        order = np.argsort(positions, kind="stable")
+        lines = lines[order]
+        kinds = kinds[order]
+        read_vertex = read_vertex[order]
+        proc_vertex = proc_vertex[order]
+        positions = positions[order]
+
+        if b < end:
+            # Hold back the sorted suffix at positions >= the next
+            # chunk's first possible position.
+            cut = int(offsets[b]) * 10
+            emit = int(np.searchsorted(positions, cut, side="left"))
+        else:
+            emit = lines.shape[0]
+        pend_lines = lines[emit:]
+        pend_kinds = kinds[emit:]
+        pend_read = read_vertex[emit:]
+        pend_proc = proc_vertex[emit:]
+        pend_pos = positions[emit:]
+
+        if emit:
+            yield MemoryTrace(
+                lines=lines[:emit],
+                kinds=kinds[:emit],
+                read_vertex=read_vertex[:emit],
+                proc_vertex=proc_vertex[:emit],
+                space=space,
+            )
+        a = b
+
+
+def concatenate_traces(
+    traces: "Iterable[MemoryTrace]", *, total_length: int | None = None
+) -> MemoryTrace:
+    """Join traces back-to-back (they must share an address space).
+
+    Accepts any iterable — in particular the :func:`spmv_trace_chunks`
+    generator — and, when ``total_length`` is given (e.g. derived from
+    :func:`repro.sim.parallel.partition_edge_counts`), fills pre-sized
+    output arrays chunk by chunk.  That caps peak memory at the output
+    plus one chunk, where the old list-of-arrays concatenation held
+    every input *and* the output alive at the copy moment.
+    """
+    if total_length is None:
+        materialized = traces if isinstance(traces, list) else list(traces)
+        if not materialized:
+            raise SimulationError("cannot concatenate zero traces")
+        space = materialized[0].space
+        if any(t.space is not space and t.space != space for t in materialized):
+            raise SimulationError("traces use different address spaces")
+        return MemoryTrace(
+            lines=np.concatenate([t.lines for t in materialized]),
+            kinds=np.concatenate([t.kinds for t in materialized]),
+            read_vertex=np.concatenate([t.read_vertex for t in materialized]),
+            proc_vertex=np.concatenate([t.proc_vertex for t in materialized]),
+            space=space,
+        )
+
+    if total_length < 0:
+        raise SimulationError(f"total_length must be >= 0, got {total_length}")
+    lines = np.empty(total_length, dtype=np.int64)
+    kinds = np.empty(total_length, dtype=np.uint8)
+    read_vertex = np.empty(total_length, dtype=np.int64)
+    proc_vertex = np.empty(total_length, dtype=np.int64)
+    filled = 0
+    space = None
+    # One iteration per *chunk*, not per access — the per-element work
+    # stays inside the vectorized slice assignments below.
+    for t in iter(traces):  # repro-lint: disable=RL003
+        if space is None:
+            space = t.space
+        elif t.space is not space and t.space != space:
+            raise SimulationError("traces use different address spaces")
+        k = len(t)
+        if filled + k > total_length:
+            raise SimulationError(
+                f"traces overflow total_length={total_length} at {filled + k}"
+            )
+        lines[filled : filled + k] = t.lines
+        kinds[filled : filled + k] = t.kinds
+        read_vertex[filled : filled + k] = t.read_vertex
+        proc_vertex[filled : filled + k] = t.proc_vertex
+        filled += k
+    if space is None:
         raise SimulationError("cannot concatenate zero traces")
-    space = traces[0].space
-    if any(t.space is not space and t.space != space for t in traces):
-        raise SimulationError("traces use different address spaces")
+    if filled != total_length:
+        raise SimulationError(
+            f"traces provided {filled} accesses, expected total_length={total_length}"
+        )
     return MemoryTrace(
-        lines=np.concatenate([t.lines for t in traces]),
-        kinds=np.concatenate([t.kinds for t in traces]),
-        read_vertex=np.concatenate([t.read_vertex for t in traces]),
-        proc_vertex=np.concatenate([t.proc_vertex for t in traces]),
+        lines=lines,
+        kinds=kinds,
+        read_vertex=read_vertex,
+        proc_vertex=proc_vertex,
         space=space,
     )

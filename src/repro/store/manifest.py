@@ -41,6 +41,7 @@ def environment_snapshot() -> dict:
     from repro import __version__
     from repro.generate.datasets import scale_factor
     from repro.obs import enabled as trace_enabled
+    from repro.obs import peak_rss_bytes
     from repro.sim._kernels import kernel_mode
 
     return {
@@ -52,6 +53,7 @@ def environment_snapshot() -> dict:
         "repro_scale": scale_factor(),
         "code_version": code_version("repro"),
         "trace_enabled": trace_enabled(),
+        "peak_rss_bytes": peak_rss_bytes(),
     }
 
 

@@ -79,6 +79,8 @@ class Serializer:
 
     kind: str = ""
     extension: str = ""
+    #: Whether ``load`` accepts ``mmap_mode="r"`` (scale-tier rehydration).
+    supports_mmap: bool = False
 
     def save(self, obj: Any, path: Path) -> None:
         raise NotImplementedError
@@ -88,18 +90,25 @@ class Serializer:
 
 
 class GraphSerializer(Serializer):
-    """CSR+CSC graphs as compressed ``.npz`` (exact integer round-trip)."""
+    """CSR+CSC graphs as ``.npz`` (exact integer round-trip).
+
+    Small graphs compress; scale-tier graphs are stored raw so
+    ``load(path, mmap_mode="r")`` can memory-map the CSR/CSC arrays
+    (one shared page-cached copy across shard workers) — see
+    :func:`repro.graph.io.save_graph_npz`.
+    """
 
     kind = "graph"
     extension = ".npz"
+    supports_mmap = True
 
     def save(self, obj: Any, path: Path) -> None:
         if not isinstance(obj, Graph):
             raise StoreError(f"graph serializer got {type(obj).__name__}")
         save_graph_npz(obj, path)
 
-    def load(self, path: Path) -> Graph:
-        return load_graph_npz(path)
+    def load(self, path: Path, *, mmap_mode: "str | None" = None) -> Graph:
+        return load_graph_npz(path, mmap_mode=mmap_mode)
 
 
 class ReorderedGraphSerializer(GraphSerializer):

@@ -36,7 +36,7 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Iterator, Optional, Union
 
-from repro.errors import StoreError
+from repro.errors import GraphFormatError, StoreError
 from repro.obs import metrics as obs_metrics
 from repro.store.serializers import get_serializer
 
@@ -171,13 +171,21 @@ class ArtifactStore:
             and self._meta_path(kind, key).exists()
         )
 
-    def get(self, key: str, kind: str) -> Any:
+    def get(self, key: str, kind: str, *, mmap_mode: "str | None" = None) -> Any:
         """Load and verify one artifact; ``None`` on miss or quarantine.
 
         Corruption — checksum mismatch, unreadable sidecar, or a
         deserialization failure — quarantines the artifact and reports a
         miss so callers recompute rather than crash.
+
+        ``mmap_mode="r"`` asks the serializer for a memory-mapped
+        rehydration (supported for graph kinds): integrity is still
+        checked — the full payload is hashed before mapping — but the
+        arrays stay on disk, shared page-cache across processes.
         """
+        serializer = get_serializer(kind)
+        if mmap_mode is not None and not serializer.supports_mmap:
+            raise StoreError(f"artifact kind {kind!r} does not support mmap_mode")
         payload = self._payload_path(kind, key)
         meta_path = self._meta_path(kind, key)
         if not payload.exists() or not meta_path.exists():
@@ -192,7 +200,16 @@ class ArtifactStore:
             self.quarantine(key, kind, reason="checksum mismatch")
             return None
         try:
-            obj = get_serializer(kind).load(payload)
+            if mmap_mode is not None:
+                try:
+                    obj = serializer.load(payload, mmap_mode=mmap_mode)  # type: ignore[call-arg]
+                except GraphFormatError:
+                    # A compressed (sub-threshold) artifact cannot be
+                    # mapped; it is still perfectly valid — heap-load it
+                    # instead of quarantining.
+                    obj = serializer.load(payload)
+            else:
+                obj = serializer.load(payload)
         except Exception:  # corrupted payload that still hashed clean
             self.quarantine(key, kind, reason="deserialization failure")
             return None

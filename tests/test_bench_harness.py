@@ -17,12 +17,12 @@ from repro.errors import ExperimentError
 
 
 class TestRegistry:
-    def test_all_fourteen_experiments_registered(self):
-        assert len(EXPERIMENTS) == 14
+    def test_all_experiments_registered(self):
+        assert len(EXPERIMENTS) == 15
         assert set(experiment_ids()) >= {
             "table1", "table2", "table3", "table4", "table5", "table6",
             "table7", "fig1", "fig2", "fig3", "fig4", "fig5", "fig6",
-            "sec8_edr",
+            "sec8_edr", "scale_curve",
         }
 
     def test_unknown_experiment(self):

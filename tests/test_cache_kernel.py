@@ -241,7 +241,9 @@ class TestKernelFallbackObservability:
 
         monkeypatch.delenv(MODE_ENV, raising=False)
         monkeypatch.setattr(
-            _kernels, "kernel_simulate", lambda cache, lines, scan: None
+            _kernels,
+            "kernel_simulate",
+            lambda cache, lines, scan, positions=None: None,
         )
 
     def test_fallback_counts_and_warns_once(self, monkeypatch):

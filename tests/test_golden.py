@@ -220,6 +220,45 @@ def test_bimodal_draws_golden(golden_rmat, update_golden):
     check_golden("bimodal_draws", computed, update_golden)
 
 
+def test_scale_streamed_golden(golden_rmat, update_golden):
+    """Scale tier: streamed + sharded pipeline counters (PR 7).
+
+    Replays the golden graph through the bounded-memory pipeline —
+    chunked traces -> streaming round-robin interleave -> 3-way
+    set-sharded replay — with a deliberately tiny ``chunk_accesses`` so
+    the run crosses many chunk, batch and segment boundaries.  Pins the
+    merged headline counters plus the per-shard routing/draw bookkeeping:
+    any drift in the chunk-boundary dedup carry, the round-robin batch
+    cut, the set routing or the position-keyed draw stream moves one of
+    these integers and fails here.
+    """
+    from repro.sim.simulator import simulate_spmv_streamed
+
+    approx_len = golden_rmat.num_edges + golden_rmat.num_vertices // 4
+    config = SimulationConfig.scaled_for(
+        golden_rmat, scan_interval=max(1, approx_len // 64)
+    )
+    result = simulate_spmv_streamed(
+        golden_rmat, config, num_shards=3, chunk_accesses=512
+    )
+    computed = {
+        "num_accesses": result.num_accesses,
+        "l3_misses": result.l3_misses,
+        "tlb_misses": result.tlb_misses,
+        "random_accesses": result.random_accesses,
+        "random_misses": result.random_misses,
+        "num_snapshots": len(result.snapshots),
+        "snapshot_checksum": int(
+            sum(int(s.resident_lines.sum()) for s in result.snapshots)
+        ),
+        "effective_cache_size_percent": result.effective_cache_size(),
+        "shard_accesses": result.shard.shard_accesses,
+        "shard_access_pos": result.shard.shard_access_pos,
+        "psel": result.shard.psel,
+    }
+    check_golden("scale_streamed", computed, update_golden)
+
+
 def test_golden_fixtures_are_committed():
     """The fixtures must ship with the repo, not appear on first run."""
     expected = {
@@ -227,6 +266,7 @@ def test_golden_fixtures_are_committed():
         "table5_ecs.json",
         "fig1_missrate.json",
         "bimodal_draws.json",
+        "scale_streamed.json",
     }
     present = {path.name for path in GOLDEN_DIR.glob("*.json")}
     assert expected <= present, f"missing golden fixtures: {expected - present}"
