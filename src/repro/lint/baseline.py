@@ -61,6 +61,20 @@ class Baseline:
         }
         path.write_text(json.dumps(payload, indent=2) + "\n")
 
+    def stale_entries(self, root: Path) -> List[str]:
+        """Fingerprints whose file no longer exists under ``root``.
+
+        A stale entry means the baselined file was deleted or renamed;
+        the entry is dead weight and should be pruned (CI asserts this
+        list is empty so the baseline can never rot silently).
+        """
+        stale: List[str] = []
+        for fingerprint in sorted(self.entries):
+            relpath = fingerprint.split("::", 1)[0]
+            if not (root / relpath).is_file():
+                stale.append(fingerprint)
+        return stale
+
     def filter(
         self, findings: List[Finding]
     ) -> Tuple[List[Finding], List[Finding]]:

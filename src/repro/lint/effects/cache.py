@@ -1,0 +1,123 @@
+"""On-disk per-module analysis cache.
+
+One JSON entry per analyzed module, keyed twice:
+
+``source_sha``
+    sha256 of the module's raw bytes — computable without parsing, so
+    a warm hit never touches :mod:`ast` at all.
+``analyzer_version``
+    the store's ``code_version("repro.lint")`` fingerprint — any edit
+    to the analyzer (new detector, changed resolution) invalidates the
+    whole cache, mirroring how ``@cached_stage`` artifacts self-expire.
+
+Entry filenames are ``sha256(relpath)`` so arbitrary project layouts
+map to flat cache files; writes are atomic (tmp + ``os.replace``) so
+concurrent lint runs never observe torn JSON.  Hits and misses tick the
+``lint.effects.cache_hit`` / ``lint.effects.cache_miss`` counters in
+:mod:`repro.obs` (no-ops unless observability is enabled).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Optional, Tuple
+
+from repro.lint.effects.callgraph import summarize_module
+from repro.lint.effects.model import ModuleSummary
+
+__all__ = ["analyzer_version", "load_or_summarize", "entry_path"]
+
+_FORMAT_VERSION = 1
+
+
+def analyzer_version() -> str:
+    """Cache-invalidation fingerprint: the analyzer's own source hash."""
+    # Imported lazily: repro.store pulls in numpy-backed serializers the
+    # pure-AST path otherwise never needs.
+    from repro.store.fingerprint import code_version
+
+    return code_version("repro.lint")
+
+
+def entry_path(cache_dir: Path, relpath: str) -> Path:
+    digest = hashlib.sha256(relpath.encode("utf-8")).hexdigest()
+    return cache_dir / f"{digest}.json"
+
+
+def load_or_summarize(
+    path: Path,
+    relpath: str,
+    cache_dir: Optional[Path],
+    version: str,
+) -> Tuple[ModuleSummary, str, bool]:
+    """(summary, source text, was-cache-hit) for one module.
+
+    Raises ``SyntaxError`` (from :func:`ast.parse`) on the miss path;
+    cache entries that are unreadable, mismatched, or malformed are
+    treated as misses and overwritten.
+    """
+    from repro.obs.metrics import registry
+
+    data = path.read_bytes()
+    source = data.decode("utf-8")
+    source_sha = hashlib.sha256(data).hexdigest()
+    entry_file = entry_path(cache_dir, relpath) if cache_dir is not None else None
+
+    if entry_file is not None:
+        summary = _try_load(entry_file, source_sha, version)
+        if summary is not None:
+            registry.counter("lint.effects.cache_hit").inc()
+            return summary, source, True
+
+    registry.counter("lint.effects.cache_miss").inc()
+    summary = summarize_module(source, relpath)
+    if entry_file is not None:
+        _write_entry(entry_file, source_sha, version, summary)
+    return summary, source, False
+
+
+def _try_load(
+    entry_file: Path, source_sha: str, version: str
+) -> Optional[ModuleSummary]:
+    try:
+        with open(entry_file, "r", encoding="utf-8") as fh:
+            entry = json.load(fh)
+    except (OSError, ValueError):
+        return None
+    if not isinstance(entry, dict):
+        return None
+    if (
+        entry.get("format") != _FORMAT_VERSION
+        or entry.get("source_sha") != source_sha
+        or entry.get("analyzer_version") != version
+    ):
+        return None
+    try:
+        summary = ModuleSummary.from_json(entry["summary"])
+    except (KeyError, TypeError, ValueError, IndexError):
+        return None
+    return summary
+
+
+def _write_entry(
+    entry_file: Path, source_sha: str, version: str, summary: ModuleSummary
+) -> None:
+    entry = {
+        "format": _FORMAT_VERSION,
+        "source_sha": source_sha,
+        "analyzer_version": version,
+        "summary": summary.to_json(),
+    }
+    try:
+        entry_file.parent.mkdir(parents=True, exist_ok=True)
+        tmp = entry_file.with_name(f"{entry_file.name}.{os.getpid()}.tmp")
+        with open(tmp, "w", encoding="utf-8") as fh:
+            json.dump(entry, fh, separators=(",", ":"), sort_keys=True)
+        os.replace(tmp, entry_file)
+    except OSError:
+        # A read-only cache directory degrades to cold analysis; the
+        # cache is an accelerator, never a correctness dependency.
+        return

@@ -1,0 +1,733 @@
+"""Effect inference: intrinsic detectors + fixed-point propagation.
+
+:class:`IntrinsicDetector` recognizes the *direct* effects a function
+body performs — the ``time.time()`` call, the ``np.random.rand`` draw,
+the ``os.environ`` read — by resolving attribute chains through the
+module's import table.  :class:`EffectAnalysis` then propagates those
+bits over the linked call graph to a fixed point, tracking two masks
+per function:
+
+``raw_und``
+    Effects reaching the function through chains that never cross a
+    ``@declares_effects`` boundary.  Contract rules fire on these.
+``raw_dec``
+    Effects absorbed by a declared carve-out somewhere down the chain —
+    audited, visible in chains, never failing RL006/RL007.
+
+An annotated function *exports* exactly its declared set (flagged
+declared); its internal raw masks are still computed so RL008 can flag
+stale annotations and so contract roots may carry their own carve-outs.
+Witnesses (one per function × effect bit × channel) are assigned in a
+single deterministic pass after convergence, so explanation chains are
+stable under function reordering within a module.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+from repro.lint.effects.model import (
+    EFFECT_BIT,
+    EFFECT_NAMES,
+    IntrinsicEffect,
+    mask_of,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (callgraph imports us)
+    from repro.lint.effects.callgraph import FunctionId, ProjectIndex, _ImportTable
+
+__all__ = ["IntrinsicDetector", "EffectAnalysis", "Witness"]
+
+#: ("intrinsic", line, detail) | ("call", callee_fid, line) | ("declared", line)
+Witness = Tuple[object, ...]
+
+
+# --------------------------------------------------------------------------
+# intrinsic detection tables (full dotted call paths after import resolution)
+# --------------------------------------------------------------------------
+
+_TIME_CALLS = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "time.perf_counter",
+        "time.perf_counter_ns",
+        "time.monotonic",
+        "time.monotonic_ns",
+        "time.process_time",
+        "time.process_time_ns",
+        "time.clock_gettime",
+        "time.clock_gettime_ns",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.datetime.today",
+        "datetime.date.today",
+    }
+)
+
+#: flagged only when called without explicit time data.
+_TIME_DEFAULT_NOW = frozenset({"time.gmtime", "time.localtime", "time.ctime"})
+
+_ENV_READ_METHODS = frozenset({"get", "items", "keys", "values", "copy"})
+_ENV_MUTATE_METHODS = frozenset({"setdefault", "update", "pop", "popitem", "clear"})
+
+_FS_WRITE_CALLS = frozenset(
+    {
+        "os.remove",
+        "os.unlink",
+        "os.rename",
+        "os.replace",
+        "os.rmdir",
+        "os.removedirs",
+        "os.makedirs",
+        "os.mkdir",
+        "os.utime",
+        "os.symlink",
+        "os.link",
+        "os.truncate",
+        "os.chmod",
+        "os.chown",
+        "shutil.copy",
+        "shutil.copy2",
+        "shutil.copyfile",
+        "shutil.copytree",
+        "shutil.move",
+        "shutil.rmtree",
+        "shutil.make_archive",
+        "tempfile.mkstemp",
+        "tempfile.mkdtemp",
+        "tempfile.NamedTemporaryFile",
+        "tempfile.TemporaryFile",
+        "tempfile.SpooledTemporaryFile",
+        "tempfile.TemporaryDirectory",
+        "json.dump",
+        "pickle.dump",
+        "numpy.save",
+        "numpy.savez",
+        "numpy.savez_compressed",
+        "numpy.savetxt",
+    }
+)
+
+#: pathlib-style mutating methods, matched on any receiver (documented
+#: over-approximation; ``replace``/``write`` are excluded — too common
+#: on strings and streams).
+_FS_WRITE_METHODS = frozenset(
+    {
+        "write_text",
+        "write_bytes",
+        "touch",
+        "symlink_to",
+        "hardlink_to",
+    }
+)
+
+#: RNG constructors that fall back to OS entropy when called seedless.
+_RNG_SEEDABLE_CONSTRUCTORS = frozenset(
+    {
+        "numpy.random.default_rng",
+        "numpy.random.SeedSequence",
+        "numpy.random.PCG64",
+        "numpy.random.PCG64DXSM",
+        "numpy.random.MT19937",
+        "numpy.random.Philox",
+        "numpy.random.SFC64",
+        "numpy.random.RandomState",
+        "random.Random",
+    }
+)
+
+#: stdlib ``random`` module-level draw functions (module-global state;
+#: treated as unseeded regardless of earlier ``random.seed`` calls).
+_RANDOM_DRAWS = frozenset(
+    {
+        "random",
+        "randint",
+        "randrange",
+        "choice",
+        "choices",
+        "shuffle",
+        "sample",
+        "uniform",
+        "gauss",
+        "normalvariate",
+        "lognormvariate",
+        "expovariate",
+        "betavariate",
+        "triangular",
+        "vonmisesvariate",
+        "paretovariate",
+        "weibullvariate",
+        "getrandbits",
+        "randbytes",
+    }
+)
+
+_RNG_ALWAYS = frozenset(
+    {"uuid.uuid1", "uuid.uuid4", "os.urandom", "random.SystemRandom"}
+)
+
+#: numpy legacy-API names that are *not* draws (seeding/construction).
+_NUMPY_RANDOM_NON_DRAWS = frozenset(
+    {
+        "default_rng",
+        "Generator",
+        "BitGenerator",
+        "SeedSequence",
+        "PCG64",
+        "PCG64DXSM",
+        "MT19937",
+        "Philox",
+        "SFC64",
+        "RandomState",
+        "seed",
+    }
+)
+
+_THREAD_CALLS = frozenset(
+    {
+        "threading.Thread",
+        "threading.Timer",
+        "multiprocessing.Process",
+        "multiprocessing.Pool",
+        "multiprocessing.pool.ThreadPool",
+        "concurrent.futures.ThreadPoolExecutor",
+        "concurrent.futures.ProcessPoolExecutor",
+        "subprocess.run",
+        "subprocess.Popen",
+        "subprocess.call",
+        "subprocess.check_call",
+        "subprocess.check_output",
+    }
+)
+
+#: spawn-ish methods on unresolved receivers (``ctx.Process(...)``).
+_THREAD_METHODS = frozenset(
+    {"Process", "Pool", "ThreadPoolExecutor", "ProcessPoolExecutor"}
+)
+
+#: calls producing unordered iterables (flagged only at iteration or
+#: reduction sites; wrapping in ``sorted()`` naturally suppresses).
+_UNORDERED_CALLS = frozenset(
+    {"os.listdir", "os.scandir", "glob.glob", "glob.iglob"}
+)
+_UNORDERED_METHODS = frozenset({"iterdir", "glob", "rglob", "scandir"})
+
+#: order-insensitive consumers of unordered iterables — not flagged.
+_ORDER_SAFE_CONSUMERS = frozenset(
+    {"sorted", "min", "max", "len", "any", "all", "set", "frozenset"}
+)
+
+
+def _attr_chain(node: ast.AST) -> Optional[List[str]]:
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        parts.reverse()
+        return parts
+    return None
+
+
+class IntrinsicDetector:
+    """Direct-effect scanner for one function body.
+
+    ``imports`` is the module's import table (name → dotted module /
+    (module, attr)); ``local_shadow`` the names bound locally (which
+    shadow imports for resolution); ``module_globals`` every
+    module-level binding and ``global_aliases`` locals that are
+    single-assignment aliases of a module-level name — both feed the
+    ``global-mutate`` detector.
+    """
+
+    def __init__(
+        self,
+        imports: "_ImportTable",
+        local_shadow: Set[str],
+        module_globals: Set[str],
+        global_aliases: Dict[str, str],
+    ) -> None:
+        self.imports = imports
+        self.local_shadow = local_shadow
+        self.module_globals = module_globals
+        self.global_aliases = global_aliases
+
+    # -- chain resolution ------------------------------------------------
+
+    def full_path(self, chain: Sequence[str]) -> Optional[str]:
+        """Canonical dotted path of a name chain through the imports."""
+        head = chain[0]
+        if head in self.local_shadow:
+            return None
+        if head in self.imports.module_aliases:
+            return ".".join([self.imports.module_aliases[head], *chain[1:]])
+        if head in self.imports.from_imports:
+            module, attr = self.imports.from_imports[head]
+            base = f"{module}.{attr}" if module else attr
+            return ".".join([base, *chain[1:]])
+        return None
+
+    def _call_path(self, call: ast.Call) -> Tuple[Optional[str], Optional[List[str]]]:
+        chain = _attr_chain(call.func)
+        if chain is None:
+            return None, None
+        return self.full_path(chain), chain
+
+    # -- entry point -----------------------------------------------------
+
+    def scan(self, own_nodes: Sequence[ast.AST]) -> List[IntrinsicEffect]:
+        found: Set[IntrinsicEffect] = set()
+        global_decls: Set[str] = set()
+        for node in own_nodes:
+            if isinstance(node, ast.Global):
+                global_decls.update(node.names)
+        for node in own_nodes:
+            if isinstance(node, ast.Call):
+                self._scan_call(node, found)
+            elif isinstance(node, (ast.For, ast.AsyncFor)):
+                detail = self._unordered(node.iter)
+                if detail is not None:
+                    found.add(
+                        IntrinsicEffect(
+                            "dict-order-sensitive",
+                            node.lineno,
+                            f"iteration over {detail}",
+                        )
+                    )
+            elif isinstance(
+                node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)
+            ):
+                for gen in node.generators:
+                    detail = self._unordered(gen.iter)
+                    if detail is not None:
+                        found.add(
+                            IntrinsicEffect(
+                                "dict-order-sensitive",
+                                node.lineno,
+                                f"comprehension over {detail}",
+                            )
+                        )
+            elif isinstance(node, ast.Name) and isinstance(
+                node.ctx, (ast.Store, ast.Del)
+            ):
+                if node.id in global_decls:
+                    found.add(
+                        IntrinsicEffect(
+                            "global-mutate",
+                            node.lineno,
+                            f"assignment to global {node.id!r}",
+                        )
+                    )
+            elif isinstance(node, (ast.Attribute, ast.Subscript)) and isinstance(
+                node.ctx, (ast.Store, ast.Del)
+            ):
+                self._scan_mutation_target(node, found)
+        return sorted(found, key=lambda i: (i.line, i.effect, i.detail))
+
+    # -- call classification ---------------------------------------------
+
+    def _scan_call(self, call: ast.Call, found: Set[IntrinsicEffect]) -> None:
+        full, chain = self._call_path(call)
+        line = call.lineno
+        nargs = len(call.args)
+
+        if full is not None:
+            if full in _TIME_CALLS:
+                found.add(IntrinsicEffect("time", line, f"{full}()"))
+                return
+            if full in _TIME_DEFAULT_NOW and nargs == 0 and not call.keywords:
+                found.add(IntrinsicEffect("time", line, f"{full}() (implicit now)"))
+                return
+            if full == "time.strftime" and nargs < 2:
+                found.add(
+                    IntrinsicEffect("time", line, "time.strftime() (implicit now)")
+                )
+                return
+            if full == "os.getenv":
+                found.add(IntrinsicEffect("env-read", line, "os.getenv()"))
+                return
+            if full.startswith("os.environ."):
+                method = full[len("os.environ.") :]
+                if method in _ENV_MUTATE_METHODS:
+                    found.add(
+                        IntrinsicEffect(
+                            "global-mutate", line, f"os.environ.{method}()"
+                        )
+                    )
+                else:
+                    found.add(
+                        IntrinsicEffect("env-read", line, f"os.environ.{method}()")
+                    )
+                return
+            if full == "os.putenv":
+                found.add(IntrinsicEffect("global-mutate", line, "os.putenv()"))
+                return
+            if full in _FS_WRITE_CALLS:
+                found.add(IntrinsicEffect("fs-write", line, f"{full}()"))
+                return
+            if full in _RNG_ALWAYS:
+                found.add(IntrinsicEffect("rng-unseeded", line, f"{full}()"))
+                return
+            if full in _RNG_SEEDABLE_CONSTRUCTORS:
+                if nargs == 0 and not call.keywords:
+                    found.add(
+                        IntrinsicEffect(
+                            "rng-unseeded", line, f"{full}() without a seed"
+                        )
+                    )
+                return
+            if full.startswith("numpy.random."):
+                attr = full[len("numpy.random.") :]
+                if "." not in attr and attr not in _NUMPY_RANDOM_NON_DRAWS:
+                    found.add(
+                        IntrinsicEffect(
+                            "rng-unseeded", line, f"legacy numpy.random.{attr}()"
+                        )
+                    )
+                return
+            if full.startswith("random."):
+                attr = full[len("random.") :]
+                if attr in _RANDOM_DRAWS:
+                    found.add(
+                        IntrinsicEffect(
+                            "rng-unseeded", line, f"global random.{attr}()"
+                        )
+                    )
+                return
+            if full.startswith("secrets."):
+                found.add(IntrinsicEffect("rng-unseeded", line, f"{full}()"))
+                return
+            if full in _THREAD_CALLS:
+                found.add(IntrinsicEffect("thread-spawn", line, f"{full}()"))
+                return
+
+        if chain is not None and len(chain) == 1:
+            name = chain[0]
+            if name not in self.local_shadow:
+                if name == "open":
+                    mode = self._open_mode(call)
+                    if mode is not None and any(c in mode for c in "wax+"):
+                        found.add(
+                            IntrinsicEffect(
+                                "fs-write", line, f"open(..., {mode!r})"
+                            )
+                        )
+                    return
+                if name == "sum" and nargs >= 1:
+                    detail = self._reduction_over_unordered(call.args[0])
+                    if detail is not None:
+                        found.add(
+                            IntrinsicEffect(
+                                "float-reduction-order",
+                                line,
+                                f"sum() over {detail}",
+                            )
+                        )
+                    return
+                if name in ("list", "tuple") and nargs >= 1:
+                    detail = self._unordered(call.args[0])
+                    if detail is not None:
+                        found.add(
+                            IntrinsicEffect(
+                                "dict-order-sensitive",
+                                line,
+                                f"{name}() materializes {detail}",
+                            )
+                        )
+                    return
+
+        if chain is not None and len(chain) >= 2:
+            method = chain[-1]
+            if method in _FS_WRITE_METHODS:
+                found.add(IntrinsicEffect("fs-write", line, f".{method}()"))
+                return
+            if method in _THREAD_METHODS:
+                found.add(IntrinsicEffect("thread-spawn", line, f".{method}()"))
+                return
+            if method == "join" and nargs >= 1:
+                detail = self._unordered(call.args[0])
+                if detail is not None:
+                    found.add(
+                        IntrinsicEffect(
+                            "dict-order-sensitive",
+                            line,
+                            f".join() over {detail}",
+                        )
+                    )
+
+    @staticmethod
+    def _open_mode(call: ast.Call) -> Optional[str]:
+        mode: Optional[ast.expr] = None
+        if len(call.args) >= 2:
+            mode = call.args[1]
+        else:
+            for kw in call.keywords:
+                if kw.arg == "mode":
+                    mode = kw.value
+        if isinstance(mode, ast.Constant) and isinstance(mode.value, str):
+            return mode.value
+        return None
+
+    # -- unordered-iterable classification --------------------------------
+
+    def _unordered(self, expr: ast.expr) -> Optional[str]:
+        if isinstance(expr, ast.Set):
+            return "a set literal"
+        if isinstance(expr, ast.SetComp):
+            return "a set comprehension"
+        if isinstance(expr, ast.Call):
+            chain = _attr_chain(expr.func)
+            if chain is None:
+                return None
+            if (
+                len(chain) == 1
+                and chain[0] in ("set", "frozenset")
+                and chain[0] not in self.local_shadow
+            ):
+                return f"{chain[0]}(...)"
+            full = self.full_path(chain)
+            if full in _UNORDERED_CALLS:
+                return f"{full}()"
+            if len(chain) >= 2 and chain[-1] in _UNORDERED_METHODS:
+                return f".{chain[-1]}()"
+        return None
+
+    def _reduction_over_unordered(self, arg: ast.expr) -> Optional[str]:
+        direct = self._unordered(arg)
+        if direct is not None:
+            return direct
+        if isinstance(arg, (ast.GeneratorExp, ast.SetComp)):
+            for gen in arg.generators:
+                detail = self._unordered(gen.iter)
+                if detail is not None:
+                    return f"a generator over {detail}"
+        return None
+
+    # -- mutation targets --------------------------------------------------
+
+    def _scan_mutation_target(
+        self, target: ast.AST, found: Set[IntrinsicEffect]
+    ) -> None:
+        """Attribute/subscript stores whose base is module-level state."""
+        base = target
+        while isinstance(base, (ast.Attribute, ast.Subscript)):
+            base = base.value
+        if not isinstance(base, ast.Name):
+            return
+        name = base.id
+        lineno = getattr(target, "lineno", 0)
+        # os.environ[...] = ... is both env and global mutation surface
+        if isinstance(target, ast.Subscript):
+            chain = _attr_chain(target.value)
+            if chain is not None and self.full_path(chain) == "os.environ":
+                found.add(
+                    IntrinsicEffect(
+                        "global-mutate", lineno, "os.environ[...] assignment"
+                    )
+                )
+                return
+        if name == "self":
+            return
+        if name in self.global_aliases:
+            found.add(
+                IntrinsicEffect(
+                    "global-mutate",
+                    lineno,
+                    f"mutation through alias {name!r} of module-level "
+                    f"{self.global_aliases[name]!r}",
+                )
+            )
+            return
+        if name in self.local_shadow:
+            return
+        if name in self.module_globals:
+            found.add(
+                IntrinsicEffect(
+                    "global-mutate",
+                    lineno,
+                    f"mutation of module-level {name!r}",
+                )
+            )
+
+
+# --------------------------------------------------------------------------
+# fixed-point propagation
+# --------------------------------------------------------------------------
+
+
+class EffectAnalysis:
+    """Converged effect masks + witnesses over a linked project index."""
+
+    def __init__(self, index: "ProjectIndex") -> None:
+        self.index = index
+        self.raw_und: Dict["FunctionId", int] = {}
+        self.raw_dec: Dict["FunctionId", int] = {}
+        self.declared_mask: Dict["FunctionId", int] = {}
+        self.is_annotated: Dict["FunctionId", bool] = {}
+        self._intrinsic: Dict["FunctionId", int] = {}
+        self._edges: Dict["FunctionId", List[Tuple["FunctionId", int]]] = {}
+        self.unresolved_calls: int = 0
+        self.resolved_calls: int = 0
+        self.wit_und: Dict[Tuple["FunctionId", int], Witness] = {}
+        self.wit_dec: Dict[Tuple["FunctionId", int], Witness] = {}
+        self._build()
+        self._converge()
+        self._assign_witnesses()
+
+    # -- graph construction -----------------------------------------------
+
+    def _build(self) -> None:
+        for fid, fn in self.index.functions():
+            mask = 0
+            for intr in fn.intrinsics:
+                mask |= EFFECT_BIT[intr.effect]
+            self._intrinsic[fid] = mask
+            self.raw_und[fid] = mask
+            self.raw_dec[fid] = 0
+            self.is_annotated[fid] = fn.declared is not None
+            self.declared_mask[fid] = (
+                mask_of(*fn.declared) if fn.declared is not None else 0
+            )
+            edges: List[Tuple["FunctionId", int]] = []
+            seen: Set["FunctionId"] = set()
+            caller_module = self.index.by_relpath[fid[0]]
+            for ref in fn.calls:
+                callee = self.index.resolve(caller_module, ref)
+                if callee is None:
+                    self.unresolved_calls += 1
+                    continue
+                self.resolved_calls += 1
+                if callee not in seen and callee != fid:
+                    seen.add(callee)
+                    edges.append((callee, ref.line))
+            self._edges[fid] = edges
+
+    def export_und(self, fid: "FunctionId") -> int:
+        return 0 if self.is_annotated[fid] else self.raw_und[fid]
+
+    def export_dec(self, fid: "FunctionId") -> int:
+        if self.is_annotated[fid]:
+            return self.declared_mask[fid]
+        return self.raw_dec[fid]
+
+    def _converge(self) -> None:
+        callers: Dict["FunctionId", Set["FunctionId"]] = {}
+        for fid, edges in self._edges.items():
+            for callee, _line in edges:
+                callers.setdefault(callee, set()).add(fid)
+        worklist: List["FunctionId"] = sorted(self._edges)
+        queued: Set["FunctionId"] = set(worklist)
+        while worklist:
+            fid = worklist.pop()
+            queued.discard(fid)
+            und = self._intrinsic[fid]
+            dec = 0
+            for callee, _line in self._edges[fid]:
+                und |= self.export_und(callee)
+                dec |= self.export_dec(callee)
+            if und == self.raw_und[fid] and dec == self.raw_dec[fid]:
+                continue
+            before_eu = self.export_und(fid)
+            before_ed = self.export_dec(fid)
+            self.raw_und[fid] = und
+            self.raw_dec[fid] = dec
+            if (
+                self.export_und(fid) != before_eu
+                or self.export_dec(fid) != before_ed
+            ):
+                for caller in callers.get(fid, ()):
+                    if caller not in queued:
+                        queued.add(caller)
+                        worklist.append(caller)
+
+    def _assign_witnesses(self) -> None:
+        """One deterministic pass deriving witnesses from converged masks.
+
+        Intrinsics (by line) take precedence over call edges (in body
+        order), so a chain always bottoms out at the nearest concrete
+        hazard and is independent of worklist scheduling.
+        """
+        for fid, fn in self.index.functions():
+            for intr in fn.intrinsics:
+                key = (fid, EFFECT_BIT[intr.effect])
+                if key not in self.wit_und:
+                    self.wit_und[key] = ("intrinsic", intr.line, intr.detail)
+            if self.is_annotated[fid]:
+                for name in EFFECT_NAMES:
+                    bit = EFFECT_BIT[name]
+                    if self.declared_mask[fid] & bit:
+                        self.wit_dec.setdefault(
+                            (fid, bit), ("declared", fn.lineno)
+                        )
+            for callee, line in self._edges[fid]:
+                eu = self.export_und(callee)
+                ed = self.export_dec(callee)
+                for name in EFFECT_NAMES:
+                    bit = EFFECT_BIT[name]
+                    if eu & bit:
+                        self.wit_und.setdefault((fid, bit), ("call", callee, line))
+                    if ed & bit:
+                        self.wit_dec.setdefault((fid, bit), ("call", callee, line))
+
+    # -- reporting ---------------------------------------------------------
+
+    def explain(self, fid: "FunctionId", effect: str) -> List[str]:
+        """Human-readable call chain from ``fid`` down to the hazard.
+
+        Follows the undeclared channel while possible (contract
+        violations always have one), switching to the declared channel
+        only when the effect reaches ``fid`` solely through carve-outs.
+        """
+        bit = EFFECT_BIT[effect]
+        channel = self.wit_und if (self.raw_und.get(fid, 0) & bit) else self.wit_dec
+        lines: List[str] = []
+        current = fid
+        visited: Set["FunctionId"] = set()
+        while len(lines) < 50:
+            if current in visited:
+                lines.append("    ... (cycle)")
+                break
+            visited.add(current)
+            witness = channel.get((current, bit))
+            if witness is None:
+                break
+            kind = witness[0]
+            if kind == "intrinsic":
+                _, line, detail = witness
+                lines.append(
+                    f"    {current[0]}::{current[1]}:{line} -> {detail}"
+                )
+                break
+            if kind == "declared":
+                _, line = witness
+                lines.append(
+                    f"    {current[0]}::{current[1]}:{line} "
+                    f"declares_effects({effect!r})"
+                )
+                break
+            _, callee, line = witness
+            assert isinstance(callee, tuple)
+            lines.append(
+                f"    {current[0]}::{current[1]}:{line} calls "
+                f"{callee[0]}::{callee[1]}"
+            )
+            if channel is self.wit_und and not (self.raw_und.get(callee, 0) & bit):
+                channel = self.wit_dec
+            current = callee
+        return lines
+
+    def observed(self, fid: "FunctionId") -> int:
+        """All effects reaching ``fid``, ignoring its own annotation."""
+        return self.raw_und.get(fid, 0) | self.raw_dec.get(fid, 0)

@@ -86,6 +86,7 @@ from typing import TYPE_CHECKING, List, Optional, Tuple
 import numpy as np
 
 from repro.errors import SimulationError
+from repro.lint.contracts import declares_effects
 from repro.obs import metrics as _obs_metrics
 from repro.obs import span as _obs_span
 from repro.sim import _draws
@@ -137,8 +138,25 @@ _RRIP_MAX_CHAIN = 24
 _RRIP_MIN_DENSITY = 80
 
 
+@declares_effects("env-read")
+def _debug_enabled() -> bool:
+    """Whether fixed-point pass tracing is requested.
+
+    Declared carve-out: the flag gates *diagnostic printing* inside the
+    RRIP fixed point only — every numeric path is identical with it on
+    or off, so the read cannot perturb replayed state.
+    """
+    return bool(os.environ.get("REPRO_SIM_KERNEL_DEBUG"))
+
+
+@declares_effects("env-read")
 def kernel_mode(explicit: str = "auto") -> str:
-    """Resolve the dispatch mode: the env var is the escape hatch."""
+    """Resolve the dispatch mode: the env var is the escape hatch.
+
+    Declared carve-out: the env var only selects *which* bit-exact
+    implementation runs — kernels and the reference loop are lockstep
+    twins, so the read can never change simulated state or artifacts.
+    """
     env = os.environ.get(MODE_ENV, "").strip().lower()
     if env in _MODES:
         return env
@@ -830,7 +848,7 @@ def _segment_rrip(
 
     dirty = np.ones(T, dtype=bool)
     budget = _PASS_BUDGET * T
-    debug = bool(os.environ.get("REPRO_SIM_KERNEL_DEBUG"))
+    debug = _debug_enabled()
     pass_no = 0
 
     while True:

@@ -29,6 +29,7 @@ import time
 from typing import Any, Callable, Optional
 
 from repro.errors import StoreError
+from repro.lint.contracts import declares_effects
 from repro.obs import metrics as obs_metrics
 from repro.obs import span
 from repro.store.fingerprint import code_version, fingerprint
@@ -36,6 +37,18 @@ from repro.store.manifest import RunManifest
 from repro.store.store import ArtifactStore
 
 __all__ = ["cached_stage"]
+
+
+@declares_effects("time")
+def _stage_clock() -> float:
+    """Wall-clock source for the ``duration_s`` provenance field.
+
+    This is the one audited clock read inside the memoization wrapper:
+    the value feeds manifest records and stored provenance only — it
+    never participates in a content key, so two runs that differ only
+    in this reading still produce bit-identical artifacts.
+    """
+    return time.perf_counter()
 
 
 def cached_stage(
@@ -75,12 +88,12 @@ def cached_stage(
             **kwargs: Any,
         ) -> Any:
             if store is None:
-                start = time.perf_counter()
+                start = _stage_clock()
                 with span(f"store.{kind}", outcome="uncached"):
                     result = fn(*args, **kwargs)
                 if manifest is not None:
                     manifest.record(
-                        kind, "", "computed", time.perf_counter() - start
+                        kind, "", "computed", _stage_clock() - start
                     )
                 return result
             params = key(*args, **kwargs)
@@ -88,7 +101,7 @@ def cached_stage(
             content_key = fingerprint(kind, params, version)
             with span(f"store.{kind}") as stage_span, store.pin(content_key, kind):
                 if not refresh:
-                    start = time.perf_counter()
+                    start = _stage_clock()
                     stored = store.get(content_key, kind)
                     if stored is not None:
                         result = (
@@ -103,13 +116,13 @@ def cached_stage(
                                 kind,
                                 content_key,
                                 "hit",
-                                time.perf_counter() - start,
+                                _stage_clock() - start,
                                 params=params,
                             )
                         return result
-                start = time.perf_counter()
+                start = _stage_clock()
                 result = fn(*args, **kwargs)
-                duration = time.perf_counter() - start
+                duration = _stage_clock() - start
                 payload = encode(result) if encode is not None else result
                 if payload is None:
                     raise StoreError(

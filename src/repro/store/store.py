@@ -37,6 +37,7 @@ from pathlib import Path
 from typing import Any, Iterator, Optional, Union
 
 from repro.errors import GraphFormatError, StoreError
+from repro.lint.contracts import declares_effects
 from repro.obs import metrics as obs_metrics
 from repro.store.serializers import get_serializer
 
@@ -54,6 +55,28 @@ def default_store_dir() -> Path:
     """Store root: ``$REPRO_STORE_DIR`` if set, else ``./.repro-store``."""
     override = os.environ.get(STORE_DIR_ENV, "").strip()
     return Path(override) if override else Path(".repro-store")
+
+
+@declares_effects("time")
+def _wallclock() -> float:
+    """``created_at`` metadata clock — LRU/GC bookkeeping, never content.
+
+    Artifact bytes are fully determined by the content key; this reading
+    lands only in the sidecar metadata, so it is an audited carve-out
+    rather than a determinism hazard.
+    """
+    return time.time()
+
+
+@declares_effects("rng-unseeded")
+def _tmp_token() -> str:
+    """Collision-proof temp-file token for atomic writes.
+
+    The uuid draw names the *scratch* file only — committed payload and
+    sidecar paths are pure functions of (kind, key), so the entropy
+    never reaches stored content.
+    """
+    return f"{_TMP_PREFIX}{os.getpid()}-{uuid.uuid4().hex}"
 
 
 def _sha256_file(path: Path) -> str:
@@ -126,13 +149,13 @@ class ArtifactStore:
         serializer = get_serializer(kind)
         bucket = self._bucket(kind, key)
         bucket.mkdir(parents=True, exist_ok=True)
-        token = f"{_TMP_PREFIX}{os.getpid()}-{uuid.uuid4().hex}"
+        token = _tmp_token()
         payload_tmp = bucket / f"{token}{serializer.extension}"
         meta_tmp = bucket / f"{token}{_META_SUFFIX}"
         try:
             serializer.save(obj, payload_tmp)
             checksum = _sha256_file(payload_tmp)
-            created_at = time.time()
+            created_at = _wallclock()
             meta = {
                 "version": 1,
                 "key": key,

@@ -1,0 +1,1 @@
+"""Test fixture packages (data, not tests)."""

@@ -1,0 +1,13 @@
+"""Known-effect toy modules for the ``--effects`` analyzer tests.
+
+Each module exercises one corner of the effect lattice:
+
+* ``pure``  — nothing here should infer any effect.
+* ``timey`` — time taint reaching the public entry point only through a
+  two-deep call chain (tests transitive propagation + explain depth).
+* ``rng``   — seeded (clean) vs unseeded (tainted) RNG construction.
+* ``envy``  — an environment read hidden behind a conditional branch.
+
+These files are analyzed statically by ``tests/test_lint_effects.py``;
+they are never imported at test runtime.
+"""

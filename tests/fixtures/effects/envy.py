@@ -1,0 +1,13 @@
+"""Environment read hidden behind a conditional branch.
+
+The analyzer is path-insensitive: the read must taint ``flag_enabled``
+even though it only executes when ``verbose`` is truthy.
+"""
+
+import os
+
+
+def flag_enabled(verbose):
+    if verbose:
+        return os.environ.get("FX_DEBUG", "") != ""
+    return False

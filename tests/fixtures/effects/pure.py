@@ -1,0 +1,15 @@
+"""Pure toy module: every function must infer an empty effect mask."""
+
+
+def double(x):
+    return x * 2
+
+
+def quadruple(x):
+    return double(double(x))
+
+
+def total(values):
+    # sorted() fixes the reduction order, so no float-reduction-order
+    # or dict-order-sensitive taint applies here.
+    return sum(sorted(values))

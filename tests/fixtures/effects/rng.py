@@ -1,0 +1,14 @@
+"""Seeded vs unseeded randomness side by side."""
+
+import random
+
+
+def seeded_draw(seed):
+    # Explicitly seeded generator: reproducible, no rng-unseeded taint.
+    rng = random.Random(seed)
+    return rng.random()
+
+
+def unseeded_draw():
+    # Module-level draw from the OS-seeded global generator.
+    return random.random()

@@ -1,0 +1,19 @@
+"""Time taint two calls away from the public entry point.
+
+``stamp`` never touches ``time`` directly — the analyzer must carry the
+effect through ``stamp -> _mid -> _now -> time.time()``.
+"""
+
+import time
+
+
+def _now():
+    return time.time()
+
+
+def _mid():
+    return _now()
+
+
+def stamp():
+    return _mid()
