@@ -1,0 +1,222 @@
+"""Serving benchmark: cold vs. warm Zipf load against repro.serve.
+
+Boots an in-process :class:`~repro.serve.app.ReorderService` on an
+ephemeral port with a fresh artifact store, then replays the *same*
+seeded Zipf request mix twice:
+
+* **cold** — empty store: every distinct job computes its pipeline;
+* **warm** — same store: every request resolves to store hits (or
+  coalesces onto an in-flight twin).
+
+``BENCH_serve.json`` records throughput and nearest-rank p50/p95/p99
+latencies for both passes plus the store-hit ratios, and the gates
+assert the claim the subsystem exists to make: the warm pass has a
+strictly higher store-hit ratio and a lower p95 than the cold pass.
+
+Run standalone (``PYTHONPATH=src python benchmarks/bench_serve.py``) or
+under pytest with the rest of the benchmark suite; CI's ``serve-smoke``
+job publishes the numbers to the step summary.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import sys
+from pathlib import Path
+
+_REPO_ROOT = Path(__file__).resolve().parent.parent
+_OUTPUT = _REPO_ROOT / "BENCH_serve.json"
+
+#: The benchmark shrinks the dataset registry so the *serving* overhead
+#: (HTTP, coalescing, store round-trips) is what gets measured, not
+#: graph generation throughput; the scale factor participates in every
+#: job fingerprint, so these artifacts never collide with full-size runs.
+_BENCH_SCALE = "0.1"
+
+_DATASETS = ("twtr-mini", "frnd-mini", "webb-mini")
+_ALGORITHMS = ("identity", "degree", "hubsort")
+_NUM_REQUESTS = 48
+_CONCURRENCY = 6
+_SEED = 7
+
+
+def _load_spec():
+    from repro.serve.loadgen import LoadSpec
+
+    return LoadSpec(
+        datasets=_DATASETS,
+        algorithms=_ALGORITHMS,
+        kind="simulate",
+        zipf_s=1.1,
+        num_requests=_NUM_REQUESTS,
+        concurrency=_CONCURRENCY,
+        seed=_SEED,
+    )
+
+
+async def _drive(store_root: str) -> dict:
+    from repro.serve.app import ReorderService
+    from repro.serve.loadgen import run_load
+
+    service = ReorderService(
+        store_root=store_root,
+        max_workers=2,
+        max_queue_depth=16,
+        executor="thread",
+    )
+    host, port = await service.start()
+    try:
+        spec = _load_spec()
+        cold = await run_load(host, port, spec)
+        warm = await run_load(host, port, spec)
+        return {"cold": cold.to_dict(), "warm": warm.to_dict()}
+    finally:
+        await service.stop()
+
+
+def run_bench() -> dict:
+    """Cold and warm passes over one fresh store; returns the payload."""
+    import tempfile
+
+    os.environ["REPRO_SCALE"] = _BENCH_SCALE
+    from repro import obs
+
+    obs.enable()
+    with tempfile.TemporaryDirectory(prefix="bench-serve-") as tmp:
+        passes = asyncio.run(_drive(str(Path(tmp) / "store")))
+    cold, warm = passes["cold"], passes["warm"]
+    payload = {
+        "bench": "serve",
+        "description": (
+            "reordering-as-a-service: identical seeded Zipf load replayed "
+            "against a cold then warm artifact store (in-process server, "
+            "thread workers, ephemeral port)"
+        ),
+        "scale": float(_BENCH_SCALE),
+        "datasets": list(_DATASETS),
+        "algorithms": list(_ALGORITHMS),
+        "cold": cold,
+        "warm": warm,
+        "gates": {
+            "all_completed": {
+                "value": cold["completed"] + warm["completed"],
+                "threshold": 2 * _NUM_REQUESTS,
+                "applicable": True,
+                "holds": cold["failed"] == 0 and warm["failed"] == 0
+                and cold["completed"] == _NUM_REQUESTS
+                and warm["completed"] == _NUM_REQUESTS,
+                "note": "every request in both passes answered 200",
+            },
+            "warm_hit_ratio": {
+                "value": warm["store_hit_ratio"],
+                "threshold": cold["store_hit_ratio"],
+                "applicable": True,
+                "holds": warm["store_hit_ratio"] > cold["store_hit_ratio"]
+                and warm["stage_computed"] == 0,
+                "note": (
+                    "warm pass must beat the cold store-hit ratio and "
+                    "recompute nothing"
+                ),
+            },
+            "warm_p95_lower": {
+                "value": warm["latency_ms"]["p95"],
+                "threshold": cold["latency_ms"]["p95"],
+                "applicable": True,
+                "holds": warm["latency_ms"]["p95"] < cold["latency_ms"]["p95"],
+                "note": "p95 latency must drop once the store is warm",
+            },
+        },
+    }
+    return payload
+
+
+def _report(payload: dict) -> str:
+    from repro.core import format_table
+
+    rows = []
+    for name in ("cold", "warm"):
+        entry = payload[name]
+        rows.append(
+            [
+                name,
+                entry["completed"],
+                entry["coalesced"],
+                entry["store_hit_ratio"],
+                entry["throughput_rps"],
+                entry["latency_ms"]["p50"],
+                entry["latency_ms"]["p95"],
+                entry["latency_ms"]["p99"],
+            ]
+        )
+    table = format_table(
+        ["pass", "done", "coal", "hit ratio", "req/s", "p50 ms", "p95 ms", "p99 ms"],
+        rows,
+        title=(
+            f"Zipf load, {_NUM_REQUESTS} requests x {_CONCURRENCY} clients "
+            f"(seed {_SEED})"
+        ),
+        precision=2,
+    )
+    gate_lines = ["Gates:"]
+    for name, gate in payload["gates"].items():
+        status = "ok" if gate["holds"] else "MISS"
+        gate_lines.append(
+            f"  [{status}] {name} value={gate['value']:.4g} "
+            f"vs {gate['threshold']:.4g}"
+        )
+    return table + "\n\n" + "\n".join(gate_lines)
+
+
+def gate_summary_lines(payload: dict) -> "list[str]":
+    """Markdown bullets for the CI step summary."""
+    cold, warm = payload["cold"], payload["warm"]
+    lines = [
+        (
+            f"- cold: `{cold['throughput_rps']}` req/s, hit ratio "
+            f"`{cold['store_hit_ratio']}`, p50/p95/p99 = "
+            f"`{cold['latency_ms']['p50']}` / `{cold['latency_ms']['p95']}` / "
+            f"`{cold['latency_ms']['p99']}` ms"
+        ),
+        (
+            f"- warm: `{warm['throughput_rps']}` req/s, hit ratio "
+            f"`{warm['store_hit_ratio']}`, p50/p95/p99 = "
+            f"`{warm['latency_ms']['p50']}` / `{warm['latency_ms']['p95']}` / "
+            f"`{warm['latency_ms']['p99']}` ms"
+        ),
+    ]
+    for name, gate in payload["gates"].items():
+        status = "pass" if gate["holds"] else "**FAIL**"
+        lines.append(f"- `{name}` — {status}")
+    return lines
+
+
+def write_json(payload: dict, path: Path = _OUTPUT) -> None:
+    path.write_text(json.dumps(payload, indent=2, sort_keys=False) + "\n")
+
+
+def _assert_gates(payload: dict) -> None:
+    """The CI contract: warm beats cold, and nothing failed."""
+    for name, gate in payload["gates"].items():
+        assert gate["holds"], (name, gate)
+
+
+def test_serve_cold_vs_warm(benchmark):
+    payload = benchmark.pedantic(run_bench, rounds=1, iterations=1)
+    write_json(payload)
+    print()
+    print(_report(payload))
+    _assert_gates(payload)
+
+
+def main(argv: "list[str]") -> None:
+    payload = run_bench()
+    write_json(payload)
+    print(_report(payload))
+    _assert_gates(payload)
+    print(f"wrote {_OUTPUT}")
+
+
+if __name__ == "__main__":
+    main(sys.argv)

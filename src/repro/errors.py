@@ -40,3 +40,19 @@ class StoreError(ReproError):
 
 class ObservabilityError(ReproError):
     """The tracing/metrics layer was misused (bad metric type, bad run file)."""
+
+
+class ServeError(ReproError):
+    """A serving request was malformed or the service was misconfigured."""
+
+
+class ServiceSaturatedError(ServeError):
+    """Admission control rejected a job: the worker queue is full.
+
+    ``retry_after_s`` is the server's estimate of when capacity frees
+    up; HTTP handlers surface it as a ``Retry-After`` header on 429.
+    """
+
+    def __init__(self, message: str, *, retry_after_s: float = 1.0) -> None:
+        super().__init__(message)
+        self.retry_after_s = retry_after_s

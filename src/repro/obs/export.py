@@ -238,6 +238,12 @@ def summarize_run(document: Dict[str, Any], *, top: int = 0) -> str:
                     f"count={entry.get('count')} mean={entry.get('mean'):.6g} "
                     f"min={entry.get('min')} max={entry.get('max')}"
                 )
+                if entry.get("p50") is not None:
+                    value += (
+                        f" p50={entry.get('p50'):.6g}"
+                        f" p95={entry.get('p95'):.6g}"
+                        f" p99={entry.get('p99'):.6g}"
+                    )
             else:
                 value = f"{entry.get('value')}"
             lines.append(f"  {name:<44} {kind:<9} {value}")

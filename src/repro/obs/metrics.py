@@ -10,14 +10,55 @@ one per access).
 
 from __future__ import annotations
 
+import math
 import threading
-from typing import Dict, Optional, Union
+from typing import Dict, List, Optional, Tuple, Union
 
 from repro.obs import core as _core
 
-__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry", "registry"]
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "registry",
+    "percentiles",
+]
 
 Number = Union[int, float]
+
+#: Ring-buffer capacity backing :meth:`Histogram.percentiles`.  Recent
+#: observations overwrite the oldest once full, so a long-running
+#: histogram reports percentiles of its trailing window rather than
+#: growing without bound.
+HISTOGRAM_RESERVOIR = 4096
+
+
+def percentiles(
+    values: "list[float]", qs: "tuple[Number, ...]" = (50, 95, 99)
+) -> Dict[str, float]:
+    """Nearest-rank percentiles of ``values`` as ``{"p50": ...}``.
+
+    Shared by :class:`Histogram` and the serving load harness so both
+    report latencies with the same (deterministic, interpolation-free)
+    definition.  Raises on an empty sample set — callers decide how to
+    render "no data".
+    """
+    if not values:
+        from repro.errors import ObservabilityError
+
+        raise ObservabilityError("cannot take percentiles of an empty sample set")
+    ordered = sorted(values)
+    out: Dict[str, float] = {}
+    for q in qs:
+        if not 0 < q <= 100:
+            from repro.errors import ObservabilityError
+
+            raise ObservabilityError(f"percentile must be in (0, 100], got {q!r}")
+        rank = max(1, math.ceil(len(ordered) * (float(q) / 100.0)))
+        label = f"{float(q):g}".replace(".", "_")
+        out[f"p{label}"] = ordered[rank - 1]
+    return out
 
 
 class Counter:
@@ -63,14 +104,16 @@ class Gauge:
 
 
 class Histogram:
-    """Streaming summary (count/total/min/max) of observed values.
+    """Streaming summary (count/total/min/max/percentiles) of observations.
 
     A full bucketed histogram is overkill for the pipeline's needs —
     per-phase durations and batch sizes — so this records the moments a
-    summary line can be built from; exporters derive the mean.
+    summary line can be built from, plus a bounded reservoir of the most
+    recent :data:`HISTOGRAM_RESERVOIR` samples so honest tail latencies
+    (:meth:`percentiles`) are available without unbounded memory.
     """
 
-    __slots__ = ("name", "count", "total", "min", "max", "_lock")
+    __slots__ = ("name", "count", "total", "min", "max", "_samples", "_next", "_lock")
 
     def __init__(self, name: str) -> None:
         self.name = name
@@ -78,6 +121,8 @@ class Histogram:
         self.total: float = 0.0
         self.min: Optional[float] = None
         self.max: Optional[float] = None
+        self._samples: List[float] = []
+        self._next: int = 0
         self._lock = threading.Lock()
 
     def observe(self, value: Number) -> None:
@@ -89,20 +134,41 @@ class Histogram:
             self.total += value
             self.min = value if self.min is None else min(self.min, value)
             self.max = value if self.max is None else max(self.max, value)
+            if len(self._samples) < HISTOGRAM_RESERVOIR:
+                self._samples.append(value)
+            else:
+                self._samples[self._next] = value
+                self._next = (self._next + 1) % HISTOGRAM_RESERVOIR
             _core._count_metric_update()
 
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
+    def percentiles(
+        self, qs: Tuple[Number, ...] = (50, 95, 99)
+    ) -> Dict[str, float]:
+        """Nearest-rank percentiles over the sample reservoir.
+
+        The reservoir keeps the most recent observations (up to
+        :data:`HISTOGRAM_RESERVOIR`), so for long streams these are
+        trailing-window percentiles.  Raises when nothing was observed.
+        """
+        with self._lock:
+            samples = list(self._samples)
+        return percentiles(samples, qs)
+
     def to_dict(self) -> Dict[str, Optional[Number]]:
-        return {
+        out: Dict[str, Optional[Number]] = {
             "count": self.count,
             "total": self.total,
             "min": self.min,
             "max": self.max,
             "mean": self.mean,
         }
+        if self._samples:
+            out.update(self.percentiles())
+        return out
 
 
 Instrument = Union[Counter, Gauge, Histogram]

@@ -1,0 +1,208 @@
+"""The reordering service: routing, coalescing, admission, metrics.
+
+Request lifecycle for the three job endpoints::
+
+    POST body --canonical_job--> job dict --job_fingerprint--> key
+        |                                                       |
+        |            +--- in flight for key? ---> await leader's future
+        |            |                            (serve.coalesced)
+        +---> SingleFlight
+                     |
+                     +--- WorkerPool.submit(execute_job, job, store_root)
+                             |           (429 + Retry-After when saturated)
+                             +---> content-addressed store (cross-time dedup)
+
+Coalescing is checked *before* admission on purpose: a burst of
+identical requests against a saturated server still collapses to the
+one in-flight computation instead of being bounced 429 one by one.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any, Dict, Optional, Tuple
+
+from repro.errors import ServeError, ServiceSaturatedError
+from repro.obs import metrics
+from repro.serve.coalesce import SingleFlight
+from repro.serve.http import (
+    HttpRequest,
+    HttpResponse,
+    start_http_server,
+)
+from repro.serve.jobs import JOB_KINDS, canonical_job, job_fingerprint
+from repro.serve.pool import WorkerPool
+from repro.serve.worker import execute_job
+from repro.store.store import ArtifactStore
+
+__all__ = ["ReorderService"]
+
+_HEX = set("0123456789abcdef")
+
+
+class ReorderService:
+    """One service instance: a worker pool, a single-flight table, a store.
+
+    The store root is shared with the worker processes — it *is* the
+    response cache.  Boot one with :meth:`start` (``port=0`` for an
+    ephemeral port), stop with :meth:`stop`.
+    """
+
+    def __init__(
+        self,
+        *,
+        store_root: Optional[str] = None,
+        max_workers: int = 2,
+        max_queue_depth: int = 8,
+        executor: str = "process",
+    ) -> None:
+        self.store_root = store_root
+        self.store = ArtifactStore(store_root) if store_root is not None else None
+        self.pool = WorkerPool(
+            max_workers=max_workers,
+            max_queue_depth=max_queue_depth,
+            executor=executor,
+        )
+        self.flights = SingleFlight()
+        self._server: Optional[asyncio.AbstractServer] = None
+        self.host: Optional[str] = None
+        self.port: Optional[int] = None
+
+    # -- lifecycle -----------------------------------------------------------
+
+    async def start(self, host: str = "127.0.0.1", port: int = 0) -> Tuple[str, int]:
+        """Bind and begin serving; returns the bound (host, port)."""
+        if self._server is not None:
+            raise ServeError("service already started")
+        self._server, self.host, self.port = await start_http_server(
+            self.handle, host, port
+        )
+        return self.host, self.port
+
+    async def serve_forever(self) -> None:
+        if self._server is None:
+            raise ServeError("service not started; call start() first")
+        await self._server.serve_forever()
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        self.pool.shutdown()
+
+    # -- routing -------------------------------------------------------------
+
+    async def handle(self, request: HttpRequest) -> HttpResponse:
+        """Route one request; every error is a structured JSON response."""
+        metrics.registry.counter("serve.requests").inc()
+        try:
+            return await self._route(request)
+        except ServiceSaturatedError as exc:
+            metrics.registry.counter("serve.rejected").inc()
+            return HttpResponse(
+                429,
+                {"error": str(exc), "retry_after_s": exc.retry_after_s},
+                headers={"Retry-After": f"{exc.retry_after_s:g}"},
+            )
+        except ServeError as exc:
+            metrics.registry.counter("serve.bad_requests").inc()
+            return HttpResponse(400, {"error": str(exc)})
+        except Exception as exc:
+            metrics.registry.counter("serve.errors").inc()
+            return HttpResponse(500, {"error": f"{type(exc).__name__}: {exc}"})
+
+    async def _route(self, request: HttpRequest) -> HttpResponse:
+        path = request.path.rstrip("/") or "/"
+        if request.method == "POST":
+            kind = path.lstrip("/")
+            if kind in JOB_KINDS:
+                return await self._job_endpoint(kind, request)
+            return HttpResponse(404, {"error": f"no POST endpoint {path!r}"})
+        if request.method == "GET":
+            if path == "/healthz":
+                return self._healthz()
+            if path == "/metrics":
+                return HttpResponse(200, {"metrics": metrics.registry.snapshot()})
+            if path.startswith("/artifacts/"):
+                return self._artifact(path[len("/artifacts/"):])
+            return HttpResponse(404, {"error": f"no GET endpoint {path!r}"})
+        return HttpResponse(
+            405, {"error": f"method {request.method} not supported"}
+        )
+
+    # -- job endpoints -------------------------------------------------------
+
+    async def _job_endpoint(self, kind: str, request: HttpRequest) -> HttpResponse:
+        job = canonical_job(request.json(), kind=kind)
+        key = job_fingerprint(job)
+        metrics.registry.counter(f"serve.{kind}.requests").inc()
+        loop = asyncio.get_running_loop()
+        started = loop.time()
+
+        async def compute() -> Dict[str, Any]:
+            return await self.pool.submit(execute_job, job, self.store_root)
+
+        outcome, coalesced = await self.flights.do(key, compute)
+        elapsed_ms = (loop.time() - started) * 1e3
+        metrics.registry.histogram(f"serve.{kind}.latency_ms").observe(elapsed_ms)
+        if coalesced:
+            metrics.registry.counter("serve.coalesced").inc()
+        else:
+            stages = outcome.get("stages", {})
+            metrics.registry.counter("serve.stage_hits").inc(
+                int(stages.get("hits", 0))
+            )
+            metrics.registry.counter("serve.stage_computed").inc(
+                int(stages.get("computed", 0))
+            )
+        payload = dict(outcome)
+        payload["fingerprint"] = key
+        payload["coalesced"] = coalesced
+        return HttpResponse(200, payload)
+
+    # -- read-only endpoints -------------------------------------------------
+
+    def _healthz(self) -> HttpResponse:
+        return HttpResponse(
+            200,
+            {
+                "status": "ok",
+                "in_flight": self.pool.in_flight,
+                "capacity": self.pool.capacity,
+                "coalescing_keys": self.flights.in_flight(),
+                "store": self.store_root,
+            },
+        )
+
+    def _artifact(self, key_prefix: str) -> HttpResponse:
+        if self.store is None:
+            return HttpResponse(
+                404, {"error": "service running without an artifact store"}
+            )
+        prefix = key_prefix.strip().lower()
+        if len(prefix) < 8 or not set(prefix) <= _HEX:
+            raise ServeError(
+                "artifact keys are hex strings of at least 8 characters"
+            )
+        infos = self.store.find(prefix)
+        if not infos:
+            return HttpResponse(
+                404, {"error": f"no artifact with key prefix {prefix!r}"}
+            )
+        return HttpResponse(
+            200,
+            {
+                "artifacts": [
+                    {
+                        "key": info.key,
+                        "kind": info.kind,
+                        "size_bytes": int(info.size_bytes),
+                        "created_at": float(info.created_at),
+                        "checksum": info.checksum,
+                        "provenance": info.provenance,
+                    }
+                    for info in infos
+                ]
+            },
+        )

@@ -1,0 +1,124 @@
+"""``python -m repro.serve`` — boot the service or drive it with load.
+
+Two subcommands::
+
+    python -m repro.serve serve --store /tmp/store --port 8080 --workers 2
+    python -m repro.serve load  --port 8080 --requests 128 --concurrency 8
+
+``serve`` runs until interrupted; ``load`` replays a seeded Zipf
+request mix against a running server and prints the
+throughput/latency/store-hit report as JSON.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import sys
+from typing import IO, List, Optional, Sequence
+
+from repro.errors import ReproError
+from repro.obs import enable as obs_enable
+from repro.serve.app import ReorderService
+from repro.serve.jobs import JOB_KINDS
+from repro.serve.loadgen import LoadSpec, generate_load
+
+__all__ = ["main"]
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.serve",
+        description="Reordering-as-a-service: HTTP server and Zipf load harness.",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    serve = commands.add_parser("serve", help="boot the HTTP service")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8080, help="0 = ephemeral")
+    serve.add_argument(
+        "--store", default=None, metavar="DIR",
+        help="artifact store root shared with workers (strongly recommended)",
+    )
+    serve.add_argument("--workers", type=int, default=2)
+    serve.add_argument("--queue-depth", type=int, default=8)
+    serve.add_argument(
+        "--executor", choices=("process", "thread"), default="process"
+    )
+
+    load = commands.add_parser("load", help="drive a running service")
+    load.add_argument("--host", default="127.0.0.1")
+    load.add_argument("--port", type=int, required=True)
+    load.add_argument("--kind", choices=JOB_KINDS, default="simulate")
+    load.add_argument("--requests", type=int, default=64)
+    load.add_argument("--concurrency", type=int, default=4)
+    load.add_argument("--zipf-s", type=float, default=1.1)
+    load.add_argument("--seed", type=int, default=0)
+    load.add_argument(
+        "--dataset", action="append", default=None, metavar="NAME",
+        help="restrict the mix (repeatable; default: first four mini datasets)",
+    )
+    load.add_argument(
+        "--algorithm", action="append", default=None, metavar="NAME",
+        help="restrict the mix (repeatable; default: identity/degree/hubsort)",
+    )
+    return parser
+
+
+async def _serve(args: argparse.Namespace, out: IO[str]) -> int:
+    service = ReorderService(
+        store_root=args.store,
+        max_workers=args.workers,
+        max_queue_depth=args.queue_depth,
+        executor=args.executor,
+    )
+    host, port = await service.start(args.host, args.port)
+    out.write(
+        json.dumps(
+            {
+                "listening": f"http://{host}:{port}",
+                "store": args.store,
+                "workers": args.workers,
+                "queue_depth": args.queue_depth,
+                "executor": args.executor,
+            }
+        )
+        + "\n"
+    )
+    out.flush()
+    try:
+        await service.serve_forever()
+    except asyncio.CancelledError:
+        pass
+    finally:
+        await service.stop()
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None, out: IO[str] = sys.stdout) -> int:
+    args = _build_parser().parse_args(argv)
+    obs_enable()
+    try:
+        if args.command == "serve":
+            try:
+                return asyncio.run(_serve(args, out))
+            except KeyboardInterrupt:
+                return 0
+        datasets: List[str] = args.dataset or []
+        algorithms: List[str] = args.algorithm or []
+        spec = LoadSpec(
+            datasets=tuple(datasets),
+            algorithms=tuple(algorithms),
+            kind=args.kind,
+            zipf_s=args.zipf_s,
+            num_requests=args.requests,
+            concurrency=args.concurrency,
+            seed=args.seed,
+        )
+        result = generate_load(args.host, args.port, spec)
+        out.write(json.dumps(result.to_dict(), indent=2, sort_keys=True) + "\n")
+        return 0 if result.failed == 0 else 1
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2

@@ -1,0 +1,65 @@
+"""Single-flight request coalescing keyed on job fingerprint.
+
+While a job with fingerprint *F* is computing, every further request
+for *F* attaches to the in-flight future instead of queuing a duplicate
+— the asyncio analogue of Go's ``singleflight``.  Combined with the
+content-addressed store this gives two layers of dedup: coalescing
+collapses *concurrent* identical work, the store collapses *repeated*
+identical work across time and processes.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any, Awaitable, Callable, Dict, Tuple
+
+__all__ = ["SingleFlight"]
+
+
+class SingleFlight:
+    """Deduplicate concurrent calls sharing one key.
+
+    ``do(key, supplier)`` runs ``supplier`` for the first caller and
+    parks every concurrent caller with the same key on the same future;
+    all of them receive the leader's result (or its exception).  The key
+    is forgotten the moment the flight lands, so *sequential* repeats
+    re-run the supplier — persistence across time is the store's job,
+    not this class's.
+    """
+
+    def __init__(self) -> None:
+        self._inflight: Dict[str, "asyncio.Future[Any]"] = {}
+
+    def in_flight(self) -> int:
+        """Number of distinct keys currently computing."""
+        return len(self._inflight)
+
+    async def do(
+        self, key: str, supplier: Callable[[], Awaitable[Any]]
+    ) -> Tuple[Any, bool]:
+        """Returns ``(result, coalesced)``; ``coalesced`` is True for followers.
+
+        The leader's exception propagates to every waiter.  A follower
+        being cancelled does not cancel the flight — other waiters (and
+        the leader's store write) still complete.
+        """
+        existing = self._inflight.get(key)
+        if existing is not None:
+            return await asyncio.shield(existing), True
+
+        loop = asyncio.get_running_loop()
+        future: "asyncio.Future[Any]" = loop.create_future()
+        self._inflight[key] = future
+        try:
+            result = await supplier()
+        except BaseException as exc:
+            future.set_exception(exc)
+            # Touch the exception so a flight with zero followers does
+            # not log "Future exception was never retrieved".
+            future.exception()
+            raise
+        else:
+            future.set_result(result)
+            return result, False
+        finally:
+            self._inflight.pop(key, None)

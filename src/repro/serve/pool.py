@@ -1,0 +1,125 @@
+"""Bounded worker pool with queue-depth admission control.
+
+The pool wraps a :mod:`concurrent.futures` executor (process by
+default, mirroring ``run_experiments(executor="process")``; thread for
+tests and single-process deployments) behind an explicit admission
+gate: at most ``max_workers`` jobs run while ``max_queue_depth`` more
+may wait.  A job arriving beyond that capacity is *rejected
+immediately* with :class:`~repro.errors.ServiceSaturatedError` — the
+service answers 429 with a ``Retry-After`` estimated from recent
+service times, instead of building an unbounded queue whose tail
+latency nobody asked for.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
+from typing import Any, Callable, Optional
+
+from repro.errors import ServeError, ServiceSaturatedError
+from repro.obs import metrics
+
+__all__ = ["WorkerPool"]
+
+#: Smoothing factor for the exponentially weighted moving average of
+#: per-job service time that prices ``Retry-After``.
+_EWMA_ALPHA = 0.3
+
+_DEFAULT_SERVICE_S = 1.0
+
+
+class WorkerPool:
+    """Admission-controlled bridge from the event loop to an executor.
+
+    ``submit`` raises :class:`ServiceSaturatedError` once
+    ``max_workers + max_queue_depth`` jobs are in flight; otherwise it
+    awaits the job on the executor and feeds its duration into the
+    Retry-After estimate.
+    """
+
+    def __init__(
+        self,
+        *,
+        max_workers: int = 2,
+        max_queue_depth: int = 8,
+        executor: str = "process",
+    ) -> None:
+        if max_workers < 1:
+            raise ServeError(f"max_workers must be >= 1, got {max_workers}")
+        if max_queue_depth < 0:
+            raise ServeError(
+                f"max_queue_depth must be >= 0, got {max_queue_depth}"
+            )
+        if executor not in ("process", "thread"):
+            raise ServeError(
+                f"executor must be 'process' or 'thread', got {executor!r}"
+            )
+        self.max_workers = max_workers
+        self.max_queue_depth = max_queue_depth
+        self.executor_kind = executor
+        self._executor: Optional[Executor] = None
+        self._in_flight = 0
+        self._ewma_service_s = _DEFAULT_SERVICE_S
+        self._depth_gauge = metrics.registry.gauge("serve.pool.in_flight")
+
+    # -- capacity accounting -------------------------------------------------
+
+    @property
+    def capacity(self) -> int:
+        return self.max_workers + self.max_queue_depth
+
+    @property
+    def in_flight(self) -> int:
+        return self._in_flight
+
+    def retry_after_s(self) -> float:
+        """Seconds until a queue slot plausibly frees up.
+
+        The wait to clear one queued job is roughly one EWMA service
+        time per job ahead of it per worker, floored at one second so
+        well-behaved clients do not hammer a briefly saturated server.
+        """
+        queued = max(0, self._in_flight - self.max_workers)
+        waves = (queued // self.max_workers) + 1
+        return max(1.0, round(self._ewma_service_s * waves, 1))
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def _ensure_executor(self) -> Executor:
+        if self._executor is None:
+            if self.executor_kind == "process":
+                self._executor = ProcessPoolExecutor(max_workers=self.max_workers)
+            else:
+                self._executor = ThreadPoolExecutor(max_workers=self.max_workers)
+        return self._executor
+
+    def shutdown(self) -> None:
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+
+    # -- submission ----------------------------------------------------------
+
+    async def submit(self, fn: Callable[..., Any], *args: Any) -> Any:
+        """Run ``fn(*args)`` on the pool, or reject if saturated."""
+        if self._in_flight >= self.capacity:
+            raise ServiceSaturatedError(
+                f"{self._in_flight} jobs in flight >= capacity {self.capacity} "
+                f"({self.max_workers} workers + {self.max_queue_depth} queue slots)",
+                retry_after_s=self.retry_after_s(),
+            )
+        executor = self._ensure_executor()
+        loop = asyncio.get_running_loop()
+        self._in_flight += 1
+        self._depth_gauge.set(self._in_flight)
+        started = loop.time()
+        try:
+            return await loop.run_in_executor(executor, fn, *args)
+        finally:
+            self._in_flight -= 1
+            self._depth_gauge.set(self._in_flight)
+            elapsed = loop.time() - started
+            self._ewma_service_s = (
+                _EWMA_ALPHA * elapsed + (1.0 - _EWMA_ALPHA) * self._ewma_service_s
+            )

@@ -218,6 +218,69 @@ class TestMetrics:
         assert delta == {"a": 4, "b": 1}  # gauges and unchanged names absent
 
 
+class TestPercentiles:
+    def test_nearest_rank_definition(self):
+        values = [float(v) for v in range(1, 101)]  # 1..100
+        result = obs_metrics.percentiles(values)
+        assert result == {"p50": 50.0, "p95": 95.0, "p99": 99.0}
+        assert obs_metrics.percentiles([7.0], (50, 99))["p99"] == 7.0
+        assert obs_metrics.percentiles(values, (99.9,)) == {"p99_9": 100.0}
+        assert obs_metrics.percentiles(values, (100,))["p100"] == 100.0
+
+    def test_order_does_not_matter(self):
+        shuffled = [3.0, 1.0, 2.0, 5.0, 4.0]
+        assert obs_metrics.percentiles(shuffled, (50,))["p50"] == 3.0
+
+    def test_empty_and_out_of_range_raise(self):
+        with pytest.raises(ObservabilityError):
+            obs_metrics.percentiles([])
+        with pytest.raises(ObservabilityError):
+            obs_metrics.percentiles([1.0], (0,))
+        with pytest.raises(ObservabilityError):
+            obs_metrics.percentiles([1.0], (101,))
+
+    def test_histogram_percentiles_and_snapshot(self):
+        with obs.recording():
+            histogram = obs_metrics.registry.histogram("req.latency_ms")
+            for value in range(1, 101):
+                histogram.observe(float(value))
+            quantiles = histogram.percentiles()
+            snapshot = obs_metrics.registry.snapshot()
+        assert quantiles == {"p50": 50.0, "p95": 95.0, "p99": 99.0}
+        entry = snapshot["req.latency_ms"]
+        assert entry["p50"] == 50.0
+        assert entry["p95"] == 95.0
+        assert entry["p99"] == 99.0
+
+    def test_empty_histogram_snapshot_has_no_percentiles(self):
+        with obs.recording():
+            obs_metrics.registry.histogram("quiet.hist")
+            snapshot = obs_metrics.registry.snapshot()
+        assert "p50" not in snapshot["quiet.hist"]
+
+    def test_reservoir_keeps_trailing_window(self):
+        with obs.recording():
+            histogram = obs_metrics.registry.histogram("long.stream")
+            for value in range(obs_metrics.HISTOGRAM_RESERVOIR + 100):
+                histogram.observe(float(value))
+            quantiles = histogram.percentiles((100,))
+        # Totals cover the full stream; percentiles cover the window.
+        assert histogram.count == obs_metrics.HISTOGRAM_RESERVOIR + 100
+        assert quantiles["p100"] == float(obs_metrics.HISTOGRAM_RESERVOIR + 99)
+        assert len(histogram._samples) == obs_metrics.HISTOGRAM_RESERVOIR
+
+    def test_summarize_run_shows_percentiles(self):
+        with obs.recording():
+            histogram = obs_metrics.registry.histogram("req.latency_ms")
+            for value in (10.0, 20.0, 30.0):
+                histogram.observe(value)
+            document = obs.export_run()
+        text = obs.summarize_run(document)
+        assert "p50=20" in text
+        assert "p95=30" in text
+        assert "p99=30" in text
+
+
 class TestExport:
     def _record_small_run(self) -> None:
         with obs.span("bench.fig3"):
