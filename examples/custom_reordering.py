@@ -67,6 +67,9 @@ def main() -> None:
         get_algorithm("identity"),
         HeaviestNeighbourClustering(),
         get_algorithm("rabbit"),
+        get_algorithm("dbg"),
+        get_algorithm("community", inner="degree"),
+        get_algorithm("hisorder"),
     ]
     rows = []
     for algorithm in contenders:

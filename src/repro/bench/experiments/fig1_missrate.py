@@ -21,13 +21,22 @@ from repro.core.report import format_series
 
 from repro.bench.harness import ExperimentReport
 from repro.bench.workloads import (
+    EXTENDED_ALGORITHMS,
     SOCIAL_DATASETS,
     STUDIED_ALGORITHMS,
     WEB_DATASETS,
     Workloads,
 )
 
-_LABELS = {"identity": "Initial", "slashburn": "SB", "gorder": "GO", "rabbit": "RO"}
+_LABELS = {
+    "identity": "Initial",
+    "slashburn": "SB",
+    "gorder": "GO",
+    "rabbit": "RO",
+    "dbg": "DBG",
+    "community": "CO",
+    "hisorder": "HO",
+}
 
 
 def run(workloads: Workloads) -> ExperimentReport:
@@ -38,7 +47,7 @@ def run(workloads: Workloads) -> ExperimentReport:
         graph = workloads.graph(dataset)
         bins = log_bins(max(1, int(graph.in_degrees().max(initial=1))))
         series = {}
-        for algorithm in STUDIED_ALGORITHMS:
+        for algorithm in STUDIED_ALGORITHMS + EXTENDED_ALGORITHMS:
             sim = workloads.simulation(dataset, algorithm)
             dist = miss_rate_degree_distribution(sim, bins=bins)
             distributions[(dataset, algorithm)] = dist
@@ -75,6 +84,22 @@ def run(workloads: Workloads) -> ExperimentReport:
         ro = _band_rate(distributions[(dataset, "rabbit")], hub, None)
         shape_checks[f"{dataset}: SlashBurn reduces the hub miss rate"] = sb < initial
         shape_checks[f"{dataset}: SlashBurn beats Rabbit-Order on hubs"] = sb < ro
+    # The extended RAs (ROADMAP item 3): DBG's hot-first degree classes
+    # concentrate hub reuse (type II) like HubSort, so hub misses drop on
+    # the skewed social graphs; per-community packing attacks LDV spatial
+    # locality (type IV/V) exactly where Rabbit-Order does — web graphs.
+    for dataset in SOCIAL_DATASETS:
+        hub = workloads.graph(dataset).hub_threshold
+        initial = _band_rate(distributions[(dataset, "identity")], hub, None)
+        dbg = _band_rate(distributions[(dataset, "dbg")], hub, None)
+        shape_checks[f"{dataset}: DBG reduces the hub miss rate"] = dbg < initial
+    for dataset in WEB_DATASETS:
+        avg = workloads.graph(dataset).average_degree
+        initial = _band_rate(distributions[(dataset, "identity")], None, avg)
+        community = _band_rate(distributions[(dataset, "community")], None, avg)
+        shape_checks[
+            f"{dataset}: per-community order lowers the LDV miss rate"
+        ] = community < initial
 
     return ExperimentReport(
         experiment_id="fig1",

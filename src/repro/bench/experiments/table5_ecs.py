@@ -13,6 +13,7 @@ from repro.core.report import format_table
 
 from repro.bench.harness import ExperimentReport
 from repro.bench.workloads import (
+    EXTENDED_ALGORITHMS,
     SIM_DATASETS,
     STUDIED_ALGORITHMS,
     WEB_DATASETS,
@@ -26,7 +27,7 @@ def run(workloads: Workloads) -> ExperimentReport:
     l3: dict[tuple[str, str], int] = {}
     for dataset in SIM_DATASETS:
         row: list = [dataset]
-        for algorithm in STUDIED_ALGORITHMS:
+        for algorithm in STUDIED_ALGORITHMS + EXTENDED_ALGORITHMS:
             sim = workloads.simulation(dataset, algorithm)
             ecs[(dataset, algorithm)] = sim.effective_cache_size()
             l3[(dataset, algorithm)] = sim.l3_misses
@@ -34,7 +35,9 @@ def run(workloads: Workloads) -> ExperimentReport:
         rows.append(row)
 
     text = format_table(
-        ["dataset", "Initial", "SB", "GO", "RO"], rows, precision=1
+        ["dataset", "Initial", "SB", "GO", "RO", "DBG", "CO", "HO"],
+        rows,
+        precision=1,
     )
 
     # The paper hedges with "usually": on its social rows (e.g. TwtrMpi)

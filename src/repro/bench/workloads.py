@@ -33,6 +33,7 @@ __all__ = [
     "WEB_DATASETS",
     "SIM_DATASETS",
     "STUDIED_ALGORITHMS",
+    "EXTENDED_ALGORITHMS",
     "Workloads",
     "workloads",
 ]
@@ -46,6 +47,11 @@ SIM_DATASETS = SOCIAL_DATASETS + WEB_DATASETS
 
 #: The RAs the paper studies, in its table column order (Bl, SB, GO, RO).
 STUDIED_ALGORITHMS = ("identity", "slashburn", "gorder", "rabbit")
+
+#: RAs from the related literature (ROADMAP item 3) the simulation-heavy
+#: experiments report alongside the paper's own columns: Degree-Based
+#: Grouping, per-community composition, and trace-profiled clustering.
+EXTENDED_ALGORITHMS = ("dbg", "community", "hisorder")
 
 
 def _params_key(params: dict) -> tuple:

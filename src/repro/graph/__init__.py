@@ -1,6 +1,11 @@
 """Graph substrate: adjacency structures, cleaning, components, I/O."""
 
 from repro.graph.build import BuildResult, build_graph, compact_vertices, dedup_edges
+from repro.graph.communities import (
+    CommunityResult,
+    label_propagation_communities,
+    modularity,
+)
 from repro.graph.components import (
     ComponentResult,
     connected_components,
@@ -45,6 +50,9 @@ __all__ = [
     "build_graph",
     "compact_vertices",
     "dedup_edges",
+    "CommunityResult",
+    "label_propagation_communities",
+    "modularity",
     "ComponentResult",
     "connected_components",
     "giant_component",

@@ -4,6 +4,8 @@ and the paper's proposed improvements."""
 from repro.errors import ReorderingError
 from repro.reorder.base import ReorderingAlgorithm, ReorderResult
 from repro.reorder.baselines import BFSOrder, DegreeSort, Identity, RandomOrder
+from repro.reorder.community import CommunityOrder
+from repro.reorder.dbg import DegreeBasedGrouping
 from repro.reorder.edr import EDRRestricted, efficacy_degree_range
 from repro.reorder.gorder import GOrder
 from repro.reorder.hubsort import HubCluster, HubSort
@@ -16,14 +18,18 @@ from repro.reorder.slashburn import (
     SlashBurnPP,
     slashburn_iterations,
 )
+from repro.reorder.traceprof import TraceProfiledOrder
 
 __all__ = [
     "ReorderingAlgorithm",
     "ReorderResult",
     "BFSOrder",
+    "CommunityOrder",
+    "DegreeBasedGrouping",
     "DegreeSort",
     "Identity",
     "RandomOrder",
+    "TraceProfiledOrder",
     "EDRRestricted",
     "efficacy_degree_range",
     "GOrder",
@@ -53,6 +59,9 @@ _FACTORIES = {
     "gorder": GOrder,
     "rabbit": RabbitOrder,
     "hybrid": HybridOrder,
+    "dbg": DegreeBasedGrouping,
+    "community": CommunityOrder,
+    "hisorder": TraceProfiledOrder,
 }
 
 

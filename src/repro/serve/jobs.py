@@ -17,9 +17,9 @@ from __future__ import annotations
 
 from typing import Any, Dict, Optional, Tuple
 
-from repro.errors import ServeError
+from repro.errors import ReorderingError, ServeError
 from repro.generate.datasets import dataset_names, scale_factor
-from repro.reorder import algorithm_names
+from repro.reorder import algorithm_names, get_algorithm
 from repro.store.fingerprint import code_version, fingerprint
 
 __all__ = [
@@ -143,13 +143,24 @@ def canonical_job(payload: Dict[str, Any], *, kind: str) -> Dict[str, Any]:
         raise ServeError(
             f"unknown algorithm {algorithm!r}; available: {algorithm_names()}"
         )
+    params = _check_params(payload.get("params"))
+    # The worker runs get_algorithm(algorithm, **params); construct it here
+    # so bad params (unknown kwarg, invalid value, bad composite inner) are
+    # a 400 at admission, not a 500 out of the worker.  Constructors only
+    # validate and store parameters, so this is cheap.
+    try:
+        get_algorithm(algorithm, **params)
+    except (ReorderingError, TypeError) as exc:
+        raise ServeError(
+            f"invalid params for algorithm {algorithm!r}: {exc}"
+        ) from exc
 
     job: Dict[str, Any] = {
         "kind": kind,
         "dataset": dataset,
         "graph_fingerprint": graph_fingerprint,
         "algorithm": algorithm,
-        "params": _check_params(payload.get("params")),
+        "params": params,
     }
     if kind == "reorder":
         include_order = payload.get("include_order", False)

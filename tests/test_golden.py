@@ -259,6 +259,35 @@ def test_scale_streamed_golden(golden_rmat, update_golden):
     check_golden("scale_streamed", computed, update_golden)
 
 
+def test_new_ras_golden(golden_rmat, update_golden):
+    """DBG / per-community / trace-profiled orders on the golden graph.
+
+    One fixture pins, per new RA, the three headline metrics the paper
+    reads off its figures: the fig3 per-degree-bin mean AID, the
+    table5 ECS + L3 miss counters, and the fig1 overall random miss
+    rate.  Kept separate from the original per-metric fixtures so the
+    strict key-set comparison there stays byte-stable.
+    """
+    computed = {}
+    for name in ("dbg", "community", "hisorder"):
+        result = get_algorithm(name)(golden_rmat)
+        reordered = result.apply(golden_rmat)
+        sim = _scanned_simulation(reordered)
+        bins = _degree_bins(reordered)
+        aid = aid_degree_distribution(reordered, bins=bins)
+        miss = miss_rate_degree_distribution(sim, bins=bins)
+        computed[name] = {
+            "relabeling_checksum": int(
+                (result.relabeling * np.arange(1, golden_rmat.num_vertices + 1)).sum()
+            ),
+            "fig3_mean_aid": aid.mean_aid,
+            "table5_effective_cache_size_percent": sim.effective_cache_size(),
+            "table5_l3_misses": sim.l3_misses,
+            "fig1_overall_miss_rate_percent": miss.overall_miss_rate_percent,
+        }
+    check_golden("new_ras", computed, update_golden)
+
+
 def test_golden_fixtures_are_committed():
     """The fixtures must ship with the repo, not appear on first run."""
     expected = {
@@ -267,6 +296,7 @@ def test_golden_fixtures_are_committed():
         "fig1_missrate.json",
         "bimodal_draws.json",
         "scale_streamed.json",
+        "new_ras.json",
     }
     present = {path.name for path in GOLDEN_DIR.glob("*.json")}
     assert expected <= present, f"missing golden fixtures: {expected - present}"

@@ -318,7 +318,14 @@ class TestAdmissionControl:
         monkeypatch.setattr(app_module, "execute_job", stuck)
 
         def payload(i: int) -> Dict[str, Any]:
-            return {"dataset": "twtr-mini", "params": {"i": i}}
+            # Distinct seeds keep the fingerprints distinct (no coalescing)
+            # while staying a real constructor kwarg of the random RA —
+            # admission now instantiates the algorithm to vet params.
+            return {
+                "dataset": "twtr-mini",
+                "algorithm": "random",
+                "params": {"seed": i},
+            }
 
         async def scenario():
             service = _service(
@@ -359,7 +366,7 @@ class TestAdmissionControl:
 
         status, body = asyncio.run(scenario())
         assert status == 200, "service recovers once in-flight work drains"
-        assert body["result"] == {"job": {"i": 99}}
+        assert body["result"] == {"job": {"seed": 99}}
 
     def test_identical_requests_coalesce_even_when_saturated(
         self, tmp_path, serving_env, monkeypatch

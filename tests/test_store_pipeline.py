@@ -123,6 +123,25 @@ class TestWarmRunsAreCached:
         assert warm.preprocessing_seconds == cold.preprocessing_seconds
         assert warm.details == cold.details
 
+    @pytest.mark.parametrize("algorithm", ["dbg", "community", "hisorder"])
+    def test_new_ras_recompute_zero_stages_warm(
+        self, store, producer_calls, algorithm
+    ):
+        """The PR-10 RAs inherit store memoization end to end."""
+        kwargs = {"inner": "degree"} if algorithm == "community" else {}
+        cold = Workloads(store=store)
+        cold_result = cold.reordering(_DATASET, algorithm, **kwargs)
+        assert cold.manifest.computed_count("reordering") == 1
+
+        producer_calls["get_algorithm"] = 0
+        warm = Workloads(store=store)
+        warm_result = warm.reordering(_DATASET, algorithm, **kwargs)
+        assert producer_calls["get_algorithm"] == 0
+        assert warm.manifest.computed_count() == 0
+        assert warm.manifest.hit_count("reordering") == 1
+        assert np.array_equal(warm_result.relabeling, cold_result.relabeling)
+        assert warm_result.details == cold_result.details
+
 
 class TestInvalidationAndRecovery:
     def test_code_version_bump_invalidates(self, store, monkeypatch, producer_calls):
